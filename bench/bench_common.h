@@ -1,0 +1,61 @@
+// Shared scaffolding for the experiment binaries (E1..E10).
+//
+// Every bench binary:
+//   * accepts --seeds=N (repetitions), --csv=path (machine-readable copy),
+//     plus experiment-specific knobs;
+//   * prints one formatted table whose rows mirror the paper claim being
+//     reproduced (see DESIGN.md section 3 and EXPERIMENTS.md).
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace ftc::bench {
+
+/// Collects `seeds` samples of `measure(seed)` and summarizes them.
+inline util::Summary over_seeds(
+    int seeds, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t)>& measure) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(seeds));
+  for (int s = 0; s < seeds; ++s) {
+    samples.push_back(measure(base_seed + static_cast<std::uint64_t>(s)));
+  }
+  return util::summarize(samples);
+}
+
+/// Emits the table to stdout and, when the writer is open, mirrors every
+/// data row into the CSV (the caller writes rows into both).
+struct Output {
+  util::Table table;
+  util::CsvWriter csv;
+
+  Output(std::vector<std::string> header, const util::Args& args)
+      : table(header) {
+    const std::string path = args.get_string("csv", "");
+    if (!path.empty()) {
+      csv = util::CsvWriter(path, header);
+    }
+  }
+
+  void row(std::vector<std::string> cells) {
+    csv.write_row(cells);
+    table.add_row(std::move(cells));
+  }
+
+  void rule() { table.add_rule(); }
+
+  void print(const std::string& title) {
+    table.print(std::cout, title);
+    std::cout.flush();
+  }
+};
+
+}  // namespace ftc::bench

@@ -1,0 +1,141 @@
+// E11 — google-benchmark microbenchmarks of the computational kernels.
+//
+// Not a paper claim; engineering telemetry for downstream users: how fast
+// the generators, checkers, mirrors, and simulator run per node/edge.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "algo/baseline/greedy.h"
+#include "algo/lp/lp_kmds.h"
+#include "algo/lp/lp_kmds_process.h"
+#include "algo/pipeline.h"
+#include "algo/rounding/rounding.h"
+#include "algo/udg/udg_kmds.h"
+#include "domination/domination.h"
+#include "geom/udg.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ftc;
+
+void BM_GnpGeneration(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::gnp(n, 10.0 / n, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GnpGeneration)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_UdgConstruction(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(2);
+  const auto points = geom::uniform_points(
+      n, std::sqrt(n / (12.0 / 3.14159)), rng);
+  for (auto _ : state) {
+    auto pts = points;
+    benchmark::DoNotOptimize(geom::build_udg(std::move(pts), 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UdgConstruction)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CoverageCheck(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(3);
+  const auto g = graph::gnp(n, 10.0 / n, rng);
+  std::vector<graph::NodeId> set;
+  for (graph::NodeId v = 0; v < n; v += 3) set.push_back(v);
+  const auto d = domination::uniform_demands(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(domination::deficiency(g, set, d));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CoverageCheck)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GreedyKmds(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(4);
+  const auto g = graph::gnp(n, 10.0 / n, rng);
+  const auto d =
+      domination::clamp_demands(g, domination::uniform_demands(n, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::greedy_kmds(g, d));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GreedyKmds)->Arg(1000)->Arg(10000);
+
+void BM_LpMirror(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(5);
+  const auto g = graph::gnp(n, 10.0 / n, rng);
+  const auto d =
+      domination::clamp_demands(g, domination::uniform_demands(n, 2));
+  algo::LpOptions opts;
+  opts.t = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::solve_fractional_kmds(g, d, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LpMirror)->Arg(1000)->Arg(10000);
+
+void BM_Rounding(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(6);
+  const auto g = graph::gnp(n, 10.0 / n, rng);
+  const auto d =
+      domination::clamp_demands(g, domination::uniform_demands(n, 2));
+  algo::LpOptions opts;
+  opts.t = 3;
+  const auto lp = algo::solve_fractional_kmds(g, d, opts);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::round_fractional(g, lp.primal, d, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Rounding)->Arg(1000)->Arg(10000);
+
+void BM_UdgMirror(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(7);
+  const auto udg = geom::uniform_udg_with_degree(n, 14.0, rng);
+  algo::UdgOptions opts;
+  opts.k = 2;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::solve_udg_kmds(udg, opts, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UdgMirror)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SimulatorLpRun(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  util::Rng rng(8);
+  const auto g = graph::gnp(n, 10.0 / n, rng);
+  const auto d =
+      domination::clamp_demands(g, domination::uniform_demands(n, 2));
+  for (auto _ : state) {
+    sim::SyncNetwork net(g, 1);
+    net.set_all_processes([&](graph::NodeId v) {
+      return std::make_unique<algo::LpKmdsProcess>(
+          d[static_cast<std::size_t>(v)], 3);
+    });
+    benchmark::DoNotOptimize(net.run(algo::lp_round_count(3) + 4));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorLpRun)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Sensor-network backbone under battery exhaustion — the paper's
+// motivating scenario (Section 1): sensor nodes die over time; a k-fold
+// dominating set keeps the monitoring backbone alive far longer than a
+// plain dominating set.
+//
+//   ./sensor_backbone [--n=2000] [--days=30] [--daily-death=0.05]
+//
+// Simulation: deploy n sensors, build the leanest k-fold backbone the
+// library offers (the centralized greedy constructor — the constructor is
+// orthogonal to the maintenance story; a lean backbone makes the
+// redundancy effect visible), then kill a random fraction of ALL nodes
+// each "day". Whenever fewer than 95% of surviving sensors can reach a
+// live backbone node, the network re-clusters — an energy-expensive event.
+// Fewer rebuilds = the fault-tolerance payoff of larger k.
+#include <cstdio>
+#include <vector>
+
+#include "algo/baseline/greedy.h"
+#include "domination/domination.h"
+#include "geom/udg.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ftc;
+
+std::vector<std::uint8_t> build_backbone(const graph::Graph& g,
+                                         const std::vector<std::uint8_t>& dead,
+                                         std::int32_t k) {
+  // Demands only for live nodes; dead nodes neither need nor provide
+  // coverage, so we solve on the surviving subgraph.
+  std::vector<graph::NodeId> dead_list;
+  for (std::size_t v = 0; v < dead.size(); ++v) {
+    if (dead[v]) dead_list.push_back(static_cast<graph::NodeId>(v));
+  }
+  const graph::Graph live = g.without_nodes(dead_list);
+  auto demands = domination::clamp_demands(
+      live, domination::uniform_demands(live.n(), k));
+  for (graph::NodeId v : dead_list) {
+    demands[static_cast<std::size_t>(v)] = 0;
+  }
+  const auto greedy = algo::greedy_kmds(live, demands);
+  auto members = domination::to_membership(g, greedy.set);
+  for (std::size_t v = 0; v < dead.size(); ++v) {
+    if (dead[v]) members[v] = 0;
+  }
+  return members;
+}
+
+struct RunSummary {
+  std::size_t initial_size = 0;
+  int rebuilds = 0;
+  std::vector<double> daily_coverage;
+};
+
+RunSummary simulate(const geom::UnitDiskGraph& udg, std::int32_t k, int days,
+                    double daily_death, std::uint64_t seed) {
+  RunSummary run;
+  util::Rng death_rng(seed * 7919 + static_cast<std::uint64_t>(k));
+  std::vector<std::uint8_t> dead(static_cast<std::size_t>(udg.n()), 0);
+
+  auto backbone = build_backbone(udg.graph, dead, k);
+  for (std::uint8_t b : backbone) run.initial_size += b;
+
+  auto coverage = [&]() {
+    std::vector<std::uint8_t> live_backbone(dead.size(), 0);
+    for (std::size_t v = 0; v < dead.size(); ++v) {
+      live_backbone[v] = backbone[v] && !dead[v];
+    }
+    const auto cover =
+        domination::closed_coverage_counts(udg.graph, live_backbone);
+    std::int64_t served = 0, want = 0;
+    for (graph::NodeId v = 0; v < udg.n(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (dead[i] || backbone[i]) continue;
+      ++want;
+      if (cover[i] >= 1) ++served;
+    }
+    return want == 0
+               ? 1.0
+               : static_cast<double>(served) / static_cast<double>(want);
+  };
+
+  for (int day = 1; day <= days; ++day) {
+    for (std::size_t v = 0; v < dead.size(); ++v) {
+      if (!dead[v] && death_rng.bernoulli(daily_death)) dead[v] = 1;
+    }
+    double frac = coverage();
+    if (frac < 0.95) {
+      ++run.rebuilds;
+      backbone = build_backbone(udg.graph, dead, k);
+      frac = coverage();
+    }
+    run.daily_coverage.push_back(frac);
+  }
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto n = static_cast<graph::NodeId>(args.get_int("n", 2000));
+  const int days = static_cast<int>(args.get_int("days", 30));
+  const double daily_death = args.get_double("daily-death", 0.05);
+  const std::uint64_t seed = args.get_u64("seed", 3);
+
+  util::Rng rng(seed);
+  const auto udg = geom::uniform_udg_with_degree(n, 16.0, rng);
+  std::printf(
+      "sensor deployment: n=%d, radio edges=%zu, %.0f%% of nodes die per "
+      "day, %d days\nre-clustering triggered when backbone coverage of "
+      "survivors drops below 95%%\n\n",
+      udg.n(), udg.graph.m(), 100.0 * daily_death, days);
+
+  for (std::int32_t k : {1, 2, 3, 4}) {
+    const auto run = simulate(udg, k, days, daily_death, seed);
+    std::printf("k=%d backbone (initial size %4zu): ", k, run.initial_size);
+    std::printf("coverage on day 5/15/%d: %5.1f%% %5.1f%% %5.1f%%,  ", days,
+                100.0 * run.daily_coverage[4], 100.0 * run.daily_coverage[14],
+                100.0 * run.daily_coverage[static_cast<std::size_t>(days - 1)]);
+    std::printf("rebuilds: %d\n", run.rebuilds);
+  }
+
+  std::printf(
+      "\nLarger k costs a proportionally larger backbone but needs far\n"
+      "fewer energy-hungry re-clustering events - the redundancy argument\n"
+      "of the paper's introduction, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Centralized greedy k-MDS — the classical H_Δ-approximation baseline.
+//
+// This is the algorithm the paper's Section 4.1 distributes ("In the greedy
+// algorithm, we start with an empty set S. In each step, a node with a
+// maximal number of not yet completely covered neighbors is added to S"),
+// i.e. greedy set multicover [Rajagopalan–Vazirani]: repeatedly add the node
+// covering the most still-deficient closed neighbors. Guarantees an
+// H(Δ+1)-approximation for the LP (closed-neighborhood) definition, so
+// |greedy| / H(Δ+1) is also a valid OPT lower bound (domination/bounds.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "domination/domination.h"
+#include "graph/graph.h"
+
+namespace ftc::algo {
+
+/// Result of the greedy baseline.
+struct GreedyResult {
+  std::vector<graph::NodeId> set;  ///< chosen dominators, sorted
+  std::int64_t steps = 0;          ///< greedy selections performed
+
+  /// True when all demands were satisfied (false only on infeasible
+  /// instances, where greedy covers as much as possible and stops).
+  bool fully_satisfied = true;
+};
+
+/// Runs greedy set multicover for the demands (LP definition). Ties are
+/// broken toward the smaller node id, making the result deterministic.
+/// O((n + m) log n) via a lazy priority queue.
+[[nodiscard]] GreedyResult greedy_kmds(const graph::Graph& g,
+                                       const domination::Demands& demands);
+
+}  // namespace ftc::algo

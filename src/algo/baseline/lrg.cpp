@@ -1,0 +1,177 @@
+#include "algo/baseline/lrg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ftc::algo {
+
+using graph::NodeId;
+
+namespace {
+
+/// Smallest power of two ≥ x (x ≥ 1).
+std::int64_t round_up_pow2(std::int64_t x) {
+  std::int64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::int64_t lrg_max_iterations(graph::NodeId n, graph::NodeId max_degree) {
+  return 200 + 40 * static_cast<std::int64_t>(
+                        std::log2(static_cast<double>(n) + 2.0) *
+                        std::log2(static_cast<double>(max_degree) + 2.0));
+}
+
+LrgResult lrg_kmds(const graph::Graph& g, const domination::Demands& demands,
+                   std::uint64_t seed) {
+  assert(static_cast<NodeId>(demands.size()) == g.n());
+  const auto n = static_cast<std::size_t>(g.n());
+
+  LrgResult result;
+  std::vector<std::int32_t> residual(demands.begin(), demands.end());
+  std::vector<std::uint8_t> chosen(n, 0);
+
+  std::vector<util::Rng> rngs;
+  rngs.reserve(n);
+  const util::Rng root(seed);
+  for (std::size_t v = 0; v < n; ++v) rngs.push_back(root.split(v));
+
+  std::int64_t deficient_total = 0;
+  for (std::int32_t r : residual) {
+    if (r > 0) ++deficient_total;
+  }
+
+  std::vector<std::int64_t> span(n, 0);
+  std::vector<std::int64_t> rounded(n, 0);
+  std::vector<std::int64_t> hop1_max(n, 0);
+  std::vector<std::int64_t> hop2_max(n, 0);
+  std::vector<std::uint8_t> candidate(n, 0);
+  std::vector<std::int32_t> support(n, 0);
+
+  const std::int64_t max_iterations = lrg_max_iterations(g.n(), g.max_degree());
+
+  while (deficient_total > 0 && result.iterations < max_iterations) {
+    ++result.iterations;
+
+    // Step 1: spans (a chosen node's span is 0 — it cannot join again).
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (chosen[i]) {
+        span[i] = 0;
+        rounded[i] = 0;
+        continue;
+      }
+      std::int64_t s = residual[i] > 0 ? 1 : 0;
+      for (NodeId w : g.neighbors(v)) {
+        if (residual[static_cast<std::size_t>(w)] > 0) ++s;
+      }
+      span[i] = s;
+      rounded[i] = s > 0 ? round_up_pow2(s) : 0;
+    }
+
+    // Step 2: candidates = nodes whose rounded span is maximal within two
+    // hops (computed with two neighborhood-max passes).
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      std::int64_t m = rounded[i];
+      for (NodeId w : g.neighbors(v)) {
+        m = std::max(m, rounded[static_cast<std::size_t>(w)]);
+      }
+      hop1_max[i] = m;
+    }
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      std::int64_t m = hop1_max[i];
+      for (NodeId w : g.neighbors(v)) {
+        m = std::max(m, hop1_max[static_cast<std::size_t>(w)]);
+      }
+      hop2_max[i] = m;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      candidate[i] = rounded[i] > 0 && rounded[i] >= hop2_max[i] ? 1 : 0;
+    }
+
+    // Step 3a: supports at deficient nodes.
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (residual[i] <= 0) {
+        support[i] = 0;
+        continue;
+      }
+      std::int32_t s = candidate[i] ? 1 : 0;
+      for (NodeId w : g.neighbors(v)) {
+        s += candidate[static_cast<std::size_t>(w)] ? 1 : 0;
+      }
+      support[i] = s;
+    }
+
+    // Step 3b: candidates flip with probability 1/median-support.
+    std::vector<NodeId> joined;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (!candidate[i]) continue;
+      std::vector<std::int32_t> supports;
+      if (residual[i] > 0) supports.push_back(support[i]);
+      for (NodeId w : g.neighbors(v)) {
+        const auto j = static_cast<std::size_t>(w);
+        if (residual[j] > 0) supports.push_back(support[j]);
+      }
+      double median = 1.0;
+      if (!supports.empty()) {
+        std::sort(supports.begin(), supports.end());
+        median = static_cast<double>(supports[supports.size() / 2]);
+      }
+      if (rngs[i].bernoulli(1.0 / std::max(1.0, median))) {
+        joined.push_back(v);
+      }
+    }
+
+    // Step 4: apply.
+    for (NodeId v : joined) {
+      const auto i = static_cast<std::size_t>(v);
+      if (chosen[i]) continue;
+      chosen[i] = 1;
+      auto cover_one = [&](NodeId u) {
+        auto& r = residual[static_cast<std::size_t>(u)];
+        if (r > 0 && --r == 0) --deficient_total;
+      };
+      cover_one(v);
+      for (NodeId w : g.neighbors(v)) cover_one(w);
+    }
+
+    // Infeasible residue: some deficient node's entire closed neighborhood
+    // is already chosen, so its residual can never decrease.
+    if (deficient_total > 0) {
+      bool stuck = true;
+      for (NodeId v = 0; v < g.n() && stuck; ++v) {
+        const auto i = static_cast<std::size_t>(v);
+        if (residual[i] <= 0) continue;
+        if (!chosen[i]) {
+          stuck = false;
+          break;
+        }
+        for (NodeId w : g.neighbors(v)) {
+          if (!chosen[static_cast<std::size_t>(w)]) {
+            stuck = false;
+            break;
+          }
+        }
+      }
+      if (stuck) break;
+    }
+  }
+
+  result.fully_satisfied = deficient_total == 0;
+  result.rounds = result.iterations * kLrgRoundsPerIteration;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (chosen[i]) result.set.push_back(static_cast<NodeId>(i));
+  }
+  return result;
+}
+
+}  // namespace ftc::algo

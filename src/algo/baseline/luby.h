@@ -1,0 +1,50 @@
+// Luby-style distributed k-fold MIS clustering — centralized mirror.
+//
+// The classical fully distributed counterpart of mis_clustering.h: instead
+// of a sequential greedy MIS per fold, each fold ("phase") runs Luby's
+// randomized MIS algorithm, O(log n) rounds w.h.p.:
+//
+//   round: every undecided node draws a fresh random value and broadcasts
+//          it; a node whose value is the strict minimum among its undecided
+//          closed neighborhood joins the MIS (ties broken toward the lower
+//          id); neighbors of joiners drop out of the phase.
+//
+// Phases are laid out on a fixed global round schedule (everyone knows n,
+// so everyone computes the same per-phase round budget). In the
+// vanishingly unlikely event a node is still undecided when its phase
+// window closes, it joins the set — this can cost independence within the
+// fold but never k-fold domination (Lemma: a node unselected after phase i
+// was "out", i.e. had a phase-i joiner in its neighborhood; window-end
+// joiners only add members).
+//
+// Result: a k-fold dominating set under the paper's Section-1 definition,
+// computed in k·luby_phase_rounds(n) synchronous rounds with 1-word
+// messages — the distributed classical baseline against which Algorithm 3's
+// O(log log n) round count is the headline improvement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ftc::algo {
+
+/// Round budget of one Luby phase: 8⌈log₂(n+2)⌉ + 8 paper rounds (each
+/// costing 2 network rounds: value exchange + join announcements).
+[[nodiscard]] std::int64_t luby_phase_rounds(graph::NodeId n);
+
+/// Result of the Luby k-fold clustering.
+struct LubyResult {
+  std::vector<graph::NodeId> set;       ///< union of the k folds, sorted
+  std::vector<std::int64_t> fold_sizes; ///< nodes selected per phase
+  std::int64_t forced_joins = 0;  ///< window-end joiners (0 in practice)
+  std::int64_t rounds = 0;        ///< 2 · k · luby_phase_rounds(n)
+};
+
+/// Runs the centralized mirror. `seed` must equal the SyncNetwork seed for
+/// mirror/process equality. Precondition: k >= 1.
+[[nodiscard]] LubyResult luby_mis_kfold(const graph::Graph& g,
+                                        std::int32_t k, std::uint64_t seed);
+
+}  // namespace ftc::algo

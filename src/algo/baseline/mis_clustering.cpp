@@ -1,0 +1,48 @@
+#include "algo/baseline/mis_clustering.h"
+
+#include <cassert>
+
+namespace ftc::algo {
+
+using graph::NodeId;
+
+std::vector<NodeId> greedy_mis(const graph::Graph& g,
+                               const std::vector<std::uint8_t>& eligible) {
+  assert(static_cast<NodeId>(eligible.size()) == g.n());
+  std::vector<std::uint8_t> blocked(static_cast<std::size_t>(g.n()), 0);
+  std::vector<NodeId> mis;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (!eligible[i] || blocked[i]) continue;
+    mis.push_back(v);
+    blocked[i] = 1;
+    for (NodeId w : g.neighbors(v)) {
+      blocked[static_cast<std::size_t>(w)] = 1;
+    }
+  }
+  return mis;
+}
+
+MisResult mis_kfold(const graph::Graph& g, std::int32_t k) {
+  assert(k >= 1);
+  const auto n = static_cast<std::size_t>(g.n());
+  MisResult result;
+  std::vector<std::uint8_t> eligible(n, 1);
+  std::vector<std::uint8_t> chosen(n, 0);
+
+  for (std::int32_t round = 0; round < k; ++round) {
+    const auto mis = greedy_mis(g, eligible);
+    result.mis_sizes.push_back(static_cast<std::int64_t>(mis.size()));
+    for (NodeId v : mis) {
+      const auto i = static_cast<std::size_t>(v);
+      chosen[i] = 1;
+      eligible[i] = 0;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (chosen[i]) result.set.push_back(static_cast<NodeId>(i));
+  }
+  return result;
+}
+
+}  // namespace ftc::algo

@@ -1,0 +1,40 @@
+// MIS-based k-fold clustering baseline for unit disk graphs.
+//
+// The classical UDG clustering approach (Alzoubi–Wan–Frieder; Gerla–Tsai):
+// a maximal independent set is a dominating set, and in a UDG its size is
+// within a constant factor of the minimum dominating set. For fault
+// tolerance we take k *disjoint* MISs: round i computes a greedy MIS of the
+// subgraph induced by the still-unchosen nodes. Any node never chosen is,
+// in every round, adjacent to that round's MIS (maximality), so it ends up
+// with ≥ k chosen neighbors — a k-fold dominating set under the paper's
+// Section-1 definition. Nodes whose unchosen neighborhood runs out simply
+// join the set themselves (and then need no coverage).
+//
+// The construction is graph-only (it never reads coordinates), so it also
+// runs on general graphs; its approximation guarantee, however, is specific
+// to bounded-independence graphs like UDGs. Worst-case time O(k·(n + m)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ftc::algo {
+
+/// Result of the k-disjoint-MIS baseline.
+struct MisResult {
+  std::vector<graph::NodeId> set;  ///< union of the k disjoint MISs, sorted
+  std::vector<std::int64_t> mis_sizes;  ///< size of each round's MIS
+};
+
+/// Computes k disjoint greedy MISs (ascending-id greedy per round) and
+/// returns their union. Precondition: k >= 1.
+[[nodiscard]] MisResult mis_kfold(const graph::Graph& g, std::int32_t k);
+
+/// Greedy (ascending-id) maximal independent set of the subgraph induced by
+/// nodes where eligible[v] != 0. Exposed for testing.
+[[nodiscard]] std::vector<graph::NodeId> greedy_mis(
+    const graph::Graph& g, const std::vector<std::uint8_t>& eligible);
+
+}  // namespace ftc::algo

@@ -1,0 +1,190 @@
+#include "algo/extensions/cds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+#include "domination/domination.h"
+#include "graph/properties.h"
+
+namespace ftc::algo {
+
+using graph::NodeId;
+
+namespace {
+
+/// Union-find over cluster ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Returns true when a merge happened (the sets were distinct).
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ConnectResult connect_dominating_set(const graph::Graph& g,
+                                     std::span<const NodeId> set) {
+  ConnectResult result;
+  const auto n = static_cast<std::size_t>(g.n());
+  auto members = domination::to_membership(g, set);
+
+  // Step 1: clusters of G[S] via BFS restricted to members.
+  std::vector<std::int32_t> cluster(n, -1);
+  std::int32_t cluster_count = 0;
+  for (NodeId s : set) {
+    if (cluster[static_cast<std::size_t>(s)] != -1) continue;
+    const std::int32_t id = cluster_count++;
+    std::queue<NodeId> frontier;
+    cluster[static_cast<std::size_t>(s)] = id;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId w : g.neighbors(u)) {
+        const auto wi = static_cast<std::size_t>(w);
+        if (members[wi] && cluster[wi] == -1) {
+          cluster[wi] = id;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+
+  if (cluster_count <= 1) {
+    result.set.assign(set.begin(), set.end());
+    std::sort(result.set.begin(), result.set.end());
+    return result;
+  }
+
+  // Step 2: multi-source BFS from all members; every node learns its
+  // nearest cluster, depth, and BFS parent.
+  std::vector<std::int32_t> label(n, -1);
+  std::vector<NodeId> parent(n, -1);
+  std::vector<std::int32_t> depth(n, -1);
+  std::queue<NodeId> frontier;
+  for (NodeId s : set) {
+    const auto si = static_cast<std::size_t>(s);
+    label[si] = cluster[si];
+    depth[si] = 0;
+    frontier.push(s);
+  }
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId w : g.neighbors(u)) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (label[wi] == -1) {
+        label[wi] = label[static_cast<std::size_t>(u)];
+        parent[wi] = u;
+        depth[wi] = depth[static_cast<std::size_t>(u)] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+
+  // Step 3: candidate bridges across label boundaries.
+  struct Bridge {
+    std::int32_t cost;  // connector count
+    NodeId u, v;
+  };
+  std::vector<Bridge> bridges;
+  for (const graph::Edge& e : g.edges()) {
+    const auto ui = static_cast<std::size_t>(e.u);
+    const auto vi = static_cast<std::size_t>(e.v);
+    if (label[ui] == -1 || label[vi] == -1) continue;  // memberless part
+    if (label[ui] == label[vi]) continue;
+    bridges.push_back({depth[ui] + depth[vi], e.u, e.v});
+  }
+  std::sort(bridges.begin(), bridges.end(), [](const Bridge& a,
+                                               const Bridge& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+
+  // Step 4: Kruskal over clusters; accepted bridges add their connector
+  // chains (the BFS paths from u and v back to their clusters).
+  UnionFind uf(static_cast<std::size_t>(cluster_count));
+  auto add_chain = [&](NodeId start) {
+    NodeId cur = start;
+    while (cur != -1 && !members[static_cast<std::size_t>(cur)]) {
+      members[static_cast<std::size_t>(cur)] = 1;
+      ++result.connectors_added;
+      cur = parent[static_cast<std::size_t>(cur)];
+    }
+  };
+  for (const Bridge& bridge : bridges) {
+    const auto cu = static_cast<std::size_t>(
+        label[static_cast<std::size_t>(bridge.u)]);
+    const auto cv = static_cast<std::size_t>(
+        label[static_cast<std::size_t>(bridge.v)]);
+    if (uf.unite(cu, cv)) {
+      add_chain(bridge.u);
+      add_chain(bridge.v);
+      ++result.bridges_used;
+    }
+  }
+
+  result.set = domination::to_node_list(members);
+  return result;
+}
+
+bool is_connected_within_components(const graph::Graph& g,
+                                    std::span<const NodeId> set) {
+  if (set.empty()) return true;
+  const auto n = static_cast<std::size_t>(g.n());
+  const auto members = domination::to_membership(g, set);
+  const auto components = graph::connected_components(g);
+
+  // BFS in G[S] from one member per G-component; afterwards every member
+  // of that component must be visited.
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<std::uint8_t> component_seeded(
+      static_cast<std::size_t>(components.count), 0);
+  for (NodeId s : set) {
+    const auto comp = static_cast<std::size_t>(
+        components.component[static_cast<std::size_t>(s)]);
+    if (component_seeded[comp]) continue;
+    component_seeded[comp] = 1;
+    std::queue<NodeId> frontier;
+    visited[static_cast<std::size_t>(s)] = 1;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId w : g.neighbors(u)) {
+        const auto wi = static_cast<std::size_t>(w);
+        if (members[wi] && !visited[wi]) {
+          visited[wi] = 1;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  for (NodeId s : set) {
+    if (!visited[static_cast<std::size_t>(s)]) return false;
+  }
+  return true;
+}
+
+}  // namespace ftc::algo

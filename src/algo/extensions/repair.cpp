@@ -1,0 +1,125 @@
+#include "algo/extensions/repair.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <set>
+
+namespace ftc::algo {
+
+using domination::Demands;
+using domination::Mode;
+using graph::NodeId;
+
+RepairResult repair_after_failures(const graph::Graph& g,
+                                   std::span<const NodeId> old_set,
+                                   std::span<const NodeId> failed,
+                                   const Demands& demands, Mode mode) {
+  assert(static_cast<NodeId>(demands.size()) == g.n());
+  const auto n = static_cast<std::size_t>(g.n());
+
+  RepairResult result;
+  std::vector<std::uint8_t> dead(n, 0);
+  for (NodeId v : failed) dead[static_cast<std::size_t>(v)] = 1;
+  std::vector<std::uint8_t> member(n, 0);
+  for (NodeId v : old_set) {
+    const auto i = static_cast<std::size_t>(v);
+    if (!dead[i]) member[i] = 1;
+  }
+
+  // Damage region: live nodes within 2 hops of a failed dominator — only
+  // they can have lost coverage (1 hop) or be promotion candidates whose
+  // spans changed (2 hops). Everything else is untouched.
+  std::vector<std::uint8_t> touched(n, 0);
+  for (NodeId f : failed) {
+    for (NodeId u : g.neighbors(f)) {
+      const auto ui = static_cast<std::size_t>(u);
+      if (dead[ui]) continue;
+      if (!touched[ui]) touched[ui] = 1;
+      for (NodeId w : g.neighbors(u)) {
+        const auto wi = static_cast<std::size_t>(w);
+        if (!dead[wi]) touched[wi] = 1;
+      }
+    }
+  }
+  for (std::uint8_t t : touched) result.touched += t;
+
+  // Live coverage and residual demand of a node.
+  auto live_coverage = [&](NodeId v) {
+    const auto vi = static_cast<std::size_t>(v);
+    std::int32_t c = member[vi] ? 1 : 0;  // self (closed neighborhood)
+    for (NodeId w : g.neighbors(v)) {
+      const auto wi = static_cast<std::size_t>(w);
+      if (!dead[wi] && member[wi]) ++c;
+    }
+    return c;
+  };
+  auto residual_of = [&](NodeId v) -> std::int32_t {
+    const auto vi = static_cast<std::size_t>(v);
+    if (dead[vi]) return 0;
+    if (mode == Mode::kOpenForNonMembers && member[vi]) return 0;
+    return std::max(0, demands[vi] - live_coverage(v));
+  };
+
+  // Deficient nodes are confined to the damage region.
+  std::set<NodeId> deficient;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (touched[static_cast<std::size_t>(v)] && residual_of(v) > 0) {
+      deficient.insert(v);
+    }
+  }
+
+  while (!deficient.empty()) {
+    const NodeId v = *deficient.begin();
+    const std::int32_t need = residual_of(v);
+    if (need <= 0) {
+      deficient.erase(deficient.begin());
+      continue;
+    }
+    // Promote the live non-member closed neighbor covering the most
+    // deficient nodes (ties toward the smaller id).
+    NodeId best = -1;
+    std::int64_t best_span = -1;
+    auto consider = [&](NodeId c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (dead[ci] || member[ci]) return;
+      std::int64_t span = residual_of(c) > 0 ? 1 : 0;
+      for (NodeId w : g.neighbors(c)) {
+        if (residual_of(w) > 0) ++span;
+      }
+      if (span > best_span) {
+        best_span = span;
+        best = c;
+      }
+    };
+    consider(v);
+    for (NodeId w : g.neighbors(v)) consider(w);
+
+    if (best == -1) {
+      // v's whole live closed neighborhood is already in the set: the
+      // demand became unsatisfiable (or, in open mode, v must join itself
+      // — handled by `consider(v)` above, so this is genuinely stuck).
+      result.fully_satisfied = false;
+      deficient.erase(deficient.begin());
+      continue;
+    }
+
+    member[static_cast<std::size_t>(best)] = 1;
+    ++result.promoted;
+    // Promotion changes residuals only in N[best]; re-examine them.
+    auto reexamine = [&](NodeId u) {
+      if (residual_of(u) <= 0) {
+        deficient.erase(u);
+      } else if (!dead[static_cast<std::size_t>(u)]) {
+        deficient.insert(u);
+      }
+    };
+    reexamine(best);
+    for (NodeId w : g.neighbors(best)) reexamine(w);
+  }
+
+  result.set = domination::to_node_list(member);
+  return result;
+}
+
+}  // namespace ftc::algo

@@ -1,0 +1,49 @@
+// Local repair of a k-fold dominating set after node failures.
+//
+// The fault-tolerance story of the paper's introduction has two halves:
+// k-fold redundancy *masks* failures for a while (experiment E9), and when
+// coverage finally erodes, the network must re-cluster. A full re-run of
+// any construction algorithm touches every node; this extension instead
+// repairs *locally*: only neighborhoods that actually lost coverage act.
+//
+// repair_after_failures() removes the failed nodes from the set and the
+// graph, finds every live node whose residual demand is no longer met, and
+// greedily promotes live non-member neighbors (highest deficiency-span
+// first, ties toward smaller ids) until all satisfiable demands are met
+// again. The touched region is exactly the 2-hop neighborhood of the
+// failed dominators — the cost scales with the damage, not with n.
+//
+// This is a centralized statement of what a distributed repair would do in
+// O(1) rounds per promotion wave; the bench (A4) compares its cost against
+// full re-clustering.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "domination/domination.h"
+#include "graph/graph.h"
+
+namespace ftc::algo {
+
+/// Outcome of a repair.
+struct RepairResult {
+  std::vector<graph::NodeId> set;  ///< repaired set (failed nodes removed)
+  std::int64_t promoted = 0;       ///< nodes newly added
+  /// Nodes whose coverage checks ran (the 2-hop damage region) — the
+  /// "work" a local distributed repair would perform.
+  std::int64_t touched = 0;
+  bool fully_satisfied = true;  ///< false only if damage made demands
+                                ///< unsatisfiable (k_i > live closed nbhd)
+};
+
+/// Repairs `old_set` on graph `g` after `failed` nodes crashed. `demands`
+/// are interpreted on the *live* subgraph (failed nodes neither need nor
+/// provide coverage) under `mode`. `old_set` may contain failed nodes (they
+/// are dropped). Deterministic.
+[[nodiscard]] RepairResult repair_after_failures(
+    const graph::Graph& g, std::span<const graph::NodeId> old_set,
+    std::span<const graph::NodeId> failed, const domination::Demands& demands,
+    domination::Mode mode = domination::Mode::kClosedNeighborhood);
+
+}  // namespace ftc::algo

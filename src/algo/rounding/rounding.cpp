@@ -1,0 +1,94 @@
+#include "algo/rounding/rounding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ftc::algo {
+
+using domination::Demands;
+using graph::NodeId;
+
+RoundingResult round_fractional(const graph::Graph& g,
+                                const domination::FractionalSolution& x,
+                                const Demands& demands, std::uint64_t seed) {
+  assert(static_cast<NodeId>(x.x.size()) == g.n());
+  assert(static_cast<NodeId>(demands.size()) == g.n());
+  const auto n = static_cast<std::size_t>(g.n());
+  const double ln_d1 = std::log(static_cast<double>(g.max_degree()) + 1.0);
+
+  RoundingResult result;
+
+  // Line 1-2: independent coins, one per node, from the node's own stream
+  // (identical to what the simulator hands each process).
+  std::vector<std::uint8_t> in_set(n, 0);
+  const util::Rng root(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Rng node_rng = root.split(i);
+    const double p = std::min(1.0, x.x[i] * ln_d1);
+    if (node_rng.bernoulli(p)) {
+      in_set[i] = 1;
+      ++result.chosen_by_coin;
+    }
+  }
+
+  // Lines 4-6: every deficient node requests its shortfall, reading only the
+  // coin-phase choices (the synchronous semantics: all requests are decided
+  // against the same snapshot).
+  std::vector<std::uint8_t> requested(n, 0);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    std::int32_t coverage = in_set[i];
+    for (NodeId w : g.neighbors(v)) {
+      coverage += in_set[static_cast<std::size_t>(w)];
+    }
+    std::int32_t shortfall = demands[i] - coverage;
+    if (shortfall <= 0) continue;
+    // Deterministic request rule: self first, then neighbors ascending.
+    if (!in_set[i] && shortfall > 0) {
+      requested[i] = 1;
+      --shortfall;
+    }
+    for (NodeId w : g.neighbors(v)) {
+      if (shortfall <= 0) break;
+      const auto j = static_cast<std::size_t>(w);
+      if (!in_set[j]) {  // requests to already-requested nodes are idempotent
+        requested[j] = 1;
+        --shortfall;
+      }
+    }
+  }
+
+  // Line 7: requested nodes join.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (requested[i] && !in_set[i]) {
+      in_set[i] = 1;
+      ++result.chosen_by_request;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_set[i]) result.set.push_back(static_cast<NodeId>(i));
+  }
+  return result;
+}
+
+RoundingResult round_fractional_best_of(
+    const graph::Graph& g, const domination::FractionalSolution& x,
+    const Demands& demands, std::uint64_t seed, int trials) {
+  assert(trials >= 1);
+  RoundingResult best = round_fractional(g, x, demands, seed);
+  for (int trial = 1; trial < trials; ++trial) {
+    RoundingResult candidate = round_fractional(
+        g, x, demands, seed + static_cast<std::uint64_t>(trial));
+    if (candidate.set.size() < best.set.size()) {
+      best = std::move(candidate);
+    }
+  }
+  best.rounds = 3 * trials;
+  return best;
+}
+
+}  // namespace ftc::algo

@@ -1,0 +1,60 @@
+// Algorithm 2 of the paper: distributed randomized rounding (Section 4.2) —
+// centralized mirror.
+//
+// Given a (PP)-feasible fractional solution x, every node joins the
+// dominating set with probability p_i = min{1, x_i·ln(Δ+1)}. Nodes still
+// short of their demand k_i then request exactly their shortfall from
+// closed-neighborhood members that stayed out; requested nodes join.
+//
+//   Theorem 4.6: starting from a ρ-approximate fractional solution the
+//   result is an integral k-fold dominating set (LP definition) of expected
+//   size ρ·ln(Δ+1)·OPT + O(OPT), i.e. ratio ρ·lnΔ + O(1), in O(1) rounds.
+//
+// The mirror reproduces the per-node randomness of the distributed process
+// exactly: node v's coin uses stream Rng(seed).split(v), the same stream the
+// simulator hands the process, so mirror and simulator pick identical sets.
+//
+// Deterministic request rule (the paper leaves the choice free): a deficient
+// node requests itself first (if it stayed out), then its absent neighbors
+// in ascending id order, until the shortfall is met.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "domination/domination.h"
+#include "domination/fractional.h"
+#include "graph/graph.h"
+
+namespace ftc::algo {
+
+/// Outcome of the rounding step.
+struct RoundingResult {
+  std::vector<graph::NodeId> set;  ///< the integral dominating set, sorted
+
+  /// Nodes chosen by the probabilistic step (the X of Theorem 4.6's proof).
+  std::int64_t chosen_by_coin = 0;
+  /// Nodes added by coverage requests (the Y of Theorem 4.6's proof).
+  std::int64_t chosen_by_request = 0;
+  /// Synchronous rounds consumed (constant: 3).
+  std::int64_t rounds = 3;
+};
+
+/// Rounds the fractional solution `x` into an integral k-fold dominating
+/// set. `seed` must equal the SyncNetwork seed for mirror/simulator
+/// equality. Preconditions: x.x.size() == g.n() == demands.size().
+[[nodiscard]] RoundingResult round_fractional(
+    const graph::Graph& g, const domination::FractionalSolution& x,
+    const domination::Demands& demands, std::uint64_t seed);
+
+/// Best-of-N rounding: Theorem 4.6 bounds the set size only in
+/// expectation, so practical deployments re-draw the coins a few times and
+/// keep the smallest result (each trial is 3 rounds; trials can also run
+/// concurrently on disjoint seed ranges). Returns the best of
+/// round_fractional(g, x, demands, seed), ..., (seed + trials - 1).
+/// Precondition: trials >= 1.
+[[nodiscard]] RoundingResult round_fractional_best_of(
+    const graph::Graph& g, const domination::FractionalSolution& x,
+    const domination::Demands& demands, std::uint64_t seed, int trials);
+
+}  // namespace ftc::algo

@@ -1,0 +1,41 @@
+// Algorithm 2 as a faithful per-node program for the synchronous simulator.
+//
+// Round 0: flip the coin with p_i = min{1, x_i·ln(Δ+1)}; broadcast the
+//          membership bit.                                        [1 word]
+// Round 1: count closed-neighborhood members; if short of k_i, send REQ to
+//          the first (shortfall) absent candidates — self first, then
+//          absent neighbors in ascending id order.                [1 word]
+// Round 2: absent nodes that received a REQ join; halt.
+//
+// Matches round_fractional() (the centralized mirror) node for node when
+// the network seed equals the mirror seed.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.h"
+
+namespace ftc::algo {
+
+/// Per-node process implementing Algorithm 2. Construct with the node's
+/// fractional value x_i (from Algorithm 1) and demand k_i.
+class RoundingProcess final : public sim::Process {
+ public:
+  RoundingProcess(double x, std::int32_t demand);
+
+  void on_round(sim::Context& ctx) override;
+
+  /// True iff this node ended up in the dominating set (valid after halt).
+  [[nodiscard]] bool in_set() const noexcept { return in_set_; }
+  /// True iff membership came from the probabilistic step.
+  [[nodiscard]] bool chosen_by_coin() const noexcept { return by_coin_; }
+
+ private:
+  double x_ = 0.0;
+  std::int32_t demand_ = 1;
+  bool in_set_ = false;
+  bool by_coin_ = false;
+  std::int64_t step_ = 0;
+};
+
+}  // namespace ftc::algo

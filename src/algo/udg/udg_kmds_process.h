@@ -1,0 +1,83 @@
+// Algorithm 3 as a faithful per-node program for the synchronous simulator.
+//
+// Requires a network built from a UnitDiskGraph (distance sensing).
+//
+// Schedule — Part I (R = udg_part1_rounds(n) paper rounds, 2 network rounds
+// each; θ doubles every paper round):
+//
+//   round 2r:   [r > 0: process election messages; unelected actives go
+//               passive] active nodes draw a fresh id from [1, n⁴] and send
+//               (active, id) to every neighbor within θ.        [2 words]
+//   round 2r+1: active nodes elect the highest-id active sender within θ
+//               (possibly themselves) and send M to it.          [1 word]
+//
+// Schedule — Part II (3 network rounds per while-iteration, starting at
+// round 2R):
+//
+//   B0: [process PROMOTE messages] every running node broadcasts its leader
+//       flag.                                                    [1 word]
+//   B1: update the cumulative known-leader set; compute coverage c(v) and
+//       the deficiency flag (!leader && c < k); broadcast it.    [1 word]
+//   B2: leaders send PROMOTE to their (up to) k lowest-id deficient
+//       neighbors. A node halts here once neither it nor any neighbor is
+//       deficient.                                               [1 word]
+//
+// All messages are O(1) words = O(log n) bits. Produces exactly the leader
+// set of solve_udg_kmds() (the centralized mirror) for the same seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace ftc::algo {
+
+struct UdgOptions;  // udg_kmds.h
+
+/// Per-node process implementing Algorithm 3. Construct with the uniform
+/// fold parameter k (paper constants), or with full UdgOptions to match a
+/// mirror run using non-default ξ / θ-scale.
+class UdgKmdsProcess final : public sim::Process {
+ public:
+  explicit UdgKmdsProcess(std::int32_t k);
+  explicit UdgKmdsProcess(const UdgOptions& options);
+
+  void on_round(sim::Context& ctx) override;
+
+  /// True iff this node is in the final k-fold dominating set (valid after
+  /// the process halts).
+  [[nodiscard]] bool leader() const noexcept { return leader_; }
+  /// True iff this node survived Part I (before the Part-II extension).
+  [[nodiscard]] bool part1_leader() const noexcept { return part1_leader_; }
+
+ private:
+  void ensure_initialized(sim::Context& ctx);
+  void part1_even(sim::Context& ctx, std::int64_t part1_round);
+  void part1_odd(sim::Context& ctx);
+  void part2(sim::Context& ctx, std::int64_t phase);
+
+  std::int32_t k_ = 1;
+  double xi_ = 1.5;
+  double theta_scale_ = 1.0;
+
+  bool initialized_ = false;
+  std::int64_t rounds_part1_ = 0;  // R
+  std::uint64_t id_max_ = 0;
+  double theta_ = 0.0;
+
+  // Part I state.
+  bool active_ = true;
+  bool elected_ = false;       // received an election (or elected self)
+  std::uint64_t my_id_ = 0;    // this paper-round's random id
+  bool part1_leader_ = false;
+
+  // Part II state.
+  bool leader_ = false;
+  bool deficient_ = false;
+  std::vector<graph::NodeId> known_leaders_;  // cumulative, sorted
+
+  std::int64_t step_ = 0;
+};
+
+}  // namespace ftc::algo

@@ -1,0 +1,95 @@
+#include "domination/domination.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftc::domination {
+
+using graph::NodeId;
+
+Demands uniform_demands(NodeId n, std::int32_t k) {
+  assert(n >= 0 && k >= 0);
+  return Demands(static_cast<std::size_t>(n), k);
+}
+
+std::vector<std::int32_t> closed_coverage_counts(
+    const graph::Graph& g, std::span<const std::uint8_t> members) {
+  assert(static_cast<NodeId>(members.size()) == g.n());
+  std::vector<std::int32_t> cover(static_cast<std::size_t>(g.n()), 0);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (members[idx]) cover[idx] += 1;  // self-coverage (closed neighborhood)
+    for (NodeId w : g.neighbors(v)) {
+      if (members[static_cast<std::size_t>(w)]) cover[idx] += 1;
+    }
+  }
+  return cover;
+}
+
+std::vector<std::uint8_t> to_membership(const graph::Graph& g,
+                                std::span<const NodeId> set) {
+  std::vector<std::uint8_t> members(static_cast<std::size_t>(g.n()), false);
+  for (NodeId v : set) {
+    assert(v >= 0 && v < g.n());
+    members[static_cast<std::size_t>(v)] = true;
+  }
+  return members;
+}
+
+std::vector<NodeId> to_node_list(std::span<const std::uint8_t> members) {
+  std::vector<NodeId> out;
+  for (std::size_t v = 0; v < members.size(); ++v) {
+    if (members[v]) out.push_back(static_cast<NodeId>(v));
+  }
+  return out;
+}
+
+std::int64_t deficiency(const graph::Graph& g, std::span<const NodeId> set,
+                        const Demands& demands, Mode mode) {
+  assert(static_cast<NodeId>(demands.size()) == g.n());
+  const auto members = to_membership(g, set);
+  const auto cover = closed_coverage_counts(g, members);
+  std::int64_t total = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    std::int32_t achieved = cover[idx];
+    if (mode == Mode::kOpenForNonMembers) {
+      if (members[idx]) continue;  // members have no requirement
+      // For non-members, closed == open coverage.
+    }
+    total += std::max<std::int32_t>(0, demands[idx] - achieved);
+  }
+  return total;
+}
+
+bool is_k_dominating(const graph::Graph& g, std::span<const NodeId> set,
+                     const Demands& demands, Mode mode) {
+  return deficiency(g, set, demands, mode) == 0;
+}
+
+bool is_k_dominating(const graph::Graph& g, std::span<const NodeId> set,
+                     std::int32_t k, Mode mode) {
+  return is_k_dominating(g, set, uniform_demands(g.n(), k), mode);
+}
+
+bool instance_feasible(const graph::Graph& g, const Demands& demands,
+                       Mode mode) {
+  assert(static_cast<NodeId>(demands.size()) == g.n());
+  if (mode == Mode::kOpenForNonMembers) return true;  // S = V always works
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (demands[static_cast<std::size_t>(v)] > g.degree(v) + 1) return false;
+  }
+  return true;
+}
+
+Demands clamp_demands(const graph::Graph& g, const Demands& demands) {
+  assert(static_cast<NodeId>(demands.size()) == g.n());
+  Demands out = demands;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    out[static_cast<std::size_t>(v)] =
+        std::min(out[static_cast<std::size_t>(v)], g.degree(v) + 1);
+  }
+  return out;
+}
+
+}  // namespace ftc::domination

@@ -1,0 +1,85 @@
+#include "domination/fractional.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ftc::domination {
+
+using graph::NodeId;
+
+double FractionalSolution::objective() const noexcept {
+  return std::accumulate(x.begin(), x.end(), 0.0);
+}
+
+double DualSolution::objective(const Demands& demands) const noexcept {
+  assert(y.size() == demands.size() && z.size() == demands.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    total += static_cast<double>(demands[i]) * y[i] - z[i];
+  }
+  return total;
+}
+
+double closed_neighborhood_sum(const graph::Graph& g, NodeId v,
+                               std::span<const double> values) {
+  double sum = values[static_cast<std::size_t>(v)];
+  for (NodeId w : g.neighbors(v)) {
+    sum += values[static_cast<std::size_t>(w)];
+  }
+  return sum;
+}
+
+bool primal_feasible(const graph::Graph& g, const FractionalSolution& x,
+                     const Demands& demands, double eps) {
+  assert(static_cast<NodeId>(x.x.size()) == g.n());
+  assert(static_cast<NodeId>(demands.size()) == g.n());
+  for (double v : x.x) {
+    if (v < -eps || v > 1.0 + eps) return false;
+  }
+  return max_primal_violation(g, x, demands) <= eps;
+}
+
+double max_primal_violation(const graph::Graph& g,
+                            const FractionalSolution& x,
+                            const Demands& demands) {
+  double worst = -1e300;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const double cover = closed_neighborhood_sum(g, v, x.x);
+    worst = std::max(
+        worst, static_cast<double>(demands[static_cast<std::size_t>(v)]) -
+                   cover);
+  }
+  return g.n() == 0 ? 0.0 : worst;
+}
+
+double max_dual_lhs(const graph::Graph& g, const DualSolution& dual) {
+  assert(static_cast<NodeId>(dual.y.size()) == g.n());
+  assert(static_cast<NodeId>(dual.z.size()) == g.n());
+  double worst = -1e300;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const double lhs = closed_neighborhood_sum(g, v, dual.y) -
+                       dual.z[static_cast<std::size_t>(v)];
+    worst = std::max(worst, lhs);
+  }
+  return g.n() == 0 ? 0.0 : worst;
+}
+
+bool dual_feasible(const graph::Graph& g, const DualSolution& dual,
+                   double eps) {
+  for (double v : dual.y) {
+    if (v < -eps) return false;
+  }
+  for (double v : dual.z) {
+    if (v < -eps) return false;
+  }
+  return max_dual_lhs(g, dual) <= 1.0 + eps;
+}
+
+void clamp_tiny_negatives(std::vector<double>& values, double eps) {
+  for (double& v : values) {
+    if (v < 0.0 && v >= -eps) v = 0.0;
+  }
+}
+
+}  // namespace ftc::domination

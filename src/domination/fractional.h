@@ -1,0 +1,77 @@
+// Fractional solutions of the k-MDS linear program (PP) and its dual (DP).
+//
+// Paper Section 4.1:
+//
+//   (PP)  min Σ x_i                 (DP)  max Σ (k_i y_i - z_i)
+//         s.t. ∀i: Σ_{j∈N_i} x_j ≥ k_i    s.t. ∀i: Σ_{j∈N_i} y_j - z_i ≤ 1
+//              0 ≤ x_i ≤ 1                     y_i, z_i ≥ 0
+//
+// where N_i is node i's closed neighborhood. This module defines value
+// types for primal/dual solutions plus feasibility and duality checkers
+// used by the tests and by experiment E10.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "domination/domination.h"
+#include "graph/graph.h"
+
+namespace ftc::domination {
+
+/// Default absolute tolerance for floating-point feasibility checks.
+inline constexpr double kFeasibilityEps = 1e-7;
+
+/// A primal (fractional) solution x of (PP).
+struct FractionalSolution {
+  std::vector<double> x;  ///< one value per node, in [0,1] when feasible
+
+  /// Objective Σ x_i.
+  [[nodiscard]] double objective() const noexcept;
+};
+
+/// A dual solution (y, z) of (DP).
+struct DualSolution {
+  std::vector<double> y;
+  std::vector<double> z;
+
+  /// Dual objective Σ (k_i·y_i − z_i).
+  [[nodiscard]] double objective(const Demands& demands) const noexcept;
+};
+
+/// Closed-neighborhood weight Σ_{j ∈ N_v} values[j] for one node.
+[[nodiscard]] double closed_neighborhood_sum(const graph::Graph& g,
+                                             graph::NodeId v,
+                                             std::span<const double> values);
+
+/// True iff x is (PP)-feasible: box constraints and coverage constraints
+/// within `eps`.
+[[nodiscard]] bool primal_feasible(const graph::Graph& g,
+                                   const FractionalSolution& x,
+                                   const Demands& demands,
+                                   double eps = kFeasibilityEps);
+
+/// Largest violation of (PP)'s coverage constraints:
+/// max_i (k_i − Σ_{j∈N_i} x_j), negative when strictly feasible.
+[[nodiscard]] double max_primal_violation(const graph::Graph& g,
+                                          const FractionalSolution& x,
+                                          const Demands& demands);
+
+/// Largest left-hand side of (DP)'s constraints:
+/// max_i (Σ_{j∈N_i} y_j − z_i). The dual is feasible iff this is ≤ 1 (+eps)
+/// and y, z ≥ 0. Algorithm 1's raw dual attains values up to t(Δ+1)^{1/t}
+/// (Lemma 4.4); dividing by that factor restores feasibility.
+[[nodiscard]] double max_dual_lhs(const graph::Graph& g,
+                                  const DualSolution& dual);
+
+/// True iff (y, z) is (DP)-feasible within eps.
+[[nodiscard]] bool dual_feasible(const graph::Graph& g,
+                                 const DualSolution& dual,
+                                 double eps = kFeasibilityEps);
+
+/// Rounds tiny negative values (≥ -eps) in a solution up to zero, leaving
+/// anything else untouched. Lets checkers accept fixed-point noise.
+void clamp_tiny_negatives(std::vector<double>& values,
+                          double eps = kFeasibilityEps);
+
+}  // namespace ftc::domination

@@ -1,0 +1,245 @@
+#include "domination/lp_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ftc::domination {
+
+using graph::NodeId;
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Full-tableau primal simplex with Bland's rule.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        cells_(rows * (cols + 1), 0.0),
+        basis_(rows, 0) {}
+
+  double& at(std::size_t r, std::size_t c) { return cells_[r * (cols_ + 1) + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return cells_[r * (cols_ + 1) + c];
+  }
+  double& rhs(std::size_t r) { return at(r, cols_); }
+  [[nodiscard]] double rhs(std::size_t r) const { return at(r, cols_); }
+
+  std::size_t& basis(std::size_t r) { return basis_[r]; }
+
+  /// Pivots without maintaining any cost row (used between phases, where
+  /// the next minimize() rebuilds its reduced costs from scratch).
+  void pivot_raw(std::size_t prow, std::size_t pcol) {
+    std::vector<double> no_costs;  // pivot() tolerates an empty cost row
+    pivot(prow, pcol, no_costs);
+  }
+
+  /// Drives still-basic artificial variables (columns >= first_artificial)
+  /// out of the basis after phase 1. Rows whose non-artificial coefficients
+  /// are all zero are redundant and left as-is (their artificial stays
+  /// pinned at zero: no positive pivot element ever selects the row).
+  void evict_artificials(std::size_t first_artificial) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (basis_[r] < first_artificial) continue;
+      for (std::size_t c = 0; c < first_artificial; ++c) {
+        if (std::abs(at(r, c)) > 1e-7) {
+          pivot_raw(r, c);
+          break;
+        }
+      }
+    }
+  }
+
+  /// Minimizes cᵀ(variables) from the current basic feasible tableau.
+  /// `blocked[j]` forbids column j from entering. Returns the achieved
+  /// objective; sets limit_hit when the pivot cap is exhausted.
+  double minimize(const std::vector<double>& cost,
+                  const std::vector<std::uint8_t>& blocked,
+                  std::int64_t max_iterations, std::int64_t& iterations,
+                  bool& limit_hit) {
+    // Reduced-cost row d_j = c_j − Σ_r c_{basis(r)} · T[r][j], maintained
+    // explicitly; objective value tracked as z = Σ_r c_{basis(r)} · rhs(r).
+    std::vector<double> d(cost.begin(), cost.end());
+    d.push_back(0.0);  // objective cell (negated z)
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double cb = cost[basis_[r]];
+      if (cb == 0.0) continue;
+      for (std::size_t c = 0; c <= cols_; ++c) {
+        d[c] -= cb * at(r, c);
+      }
+    }
+
+    // Pricing: Dantzig (most negative reduced cost) for speed; after a run
+    // of degenerate pivots, fall back to Bland's rule, which provably
+    // terminates.
+    std::int64_t degenerate_streak = 0;
+    constexpr std::int64_t kBlandThreshold = 64;
+
+    while (true) {
+      if (iterations >= max_iterations) {
+        limit_hit = true;
+        break;
+      }
+      const bool bland = degenerate_streak >= kBlandThreshold;
+
+      std::size_t entering = cols_;
+      if (bland) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+          if (!blocked[c] && d[c] < -kEps) {
+            entering = c;
+            break;
+          }
+        }
+      } else {
+        double most_negative = -kEps;
+        for (std::size_t c = 0; c < cols_; ++c) {
+          if (!blocked[c] && d[c] < most_negative) {
+            most_negative = d[c];
+            entering = c;
+          }
+        }
+      }
+      if (entering == cols_) break;  // optimal
+
+      // Ratio test: strict minimum; among (numerical) ties pick the row
+      // whose basic variable has the smallest index (Bland-compatible).
+      std::size_t leaving = rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const double a = at(r, entering);
+        if (a <= kEps) continue;
+        const double ratio = rhs(r) / a;
+        if (leaving == rows_ || ratio < best_ratio - 1e-12) {
+          best_ratio = ratio;
+          leaving = r;
+        } else if (ratio <= best_ratio + 1e-12 &&
+                   basis_[r] < basis_[leaving]) {
+          leaving = r;
+        }
+      }
+      assert(leaving != rows_ && "LP is bounded by construction");
+      if (leaving == rows_) break;  // defensive: treat as done
+
+      degenerate_streak = best_ratio <= 1e-12 ? degenerate_streak + 1 : 0;
+      pivot(leaving, entering, d);
+      ++iterations;
+    }
+    return -d[cols_];  // d's objective cell holds −z
+  }
+
+ private:
+  void pivot(std::size_t prow, std::size_t pcol, std::vector<double>& d) {
+    const double p = at(prow, pcol);
+    assert(std::abs(p) > kEps);
+    const double inv = 1.0 / p;
+    for (std::size_t c = 0; c <= cols_; ++c) {
+      at(prow, c) *= inv;
+    }
+    at(prow, pcol) = 1.0;  // exact
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == prow) continue;
+      const double factor = at(r, pcol);
+      if (std::abs(factor) < kEps) {
+        at(r, pcol) = 0.0;
+        continue;
+      }
+      for (std::size_t c = 0; c <= cols_; ++c) {
+        at(r, c) -= factor * at(prow, c);
+      }
+      at(r, pcol) = 0.0;  // exact
+    }
+    if (!d.empty()) {
+      const double dfactor = d[pcol];
+      if (std::abs(dfactor) > 0.0) {
+        for (std::size_t c = 0; c <= cols_; ++c) {
+          d[c] -= dfactor * at(prow, c);
+        }
+        d[pcol] = 0.0;
+      }
+    }
+    basis_[prow] = pcol;
+  }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> cells_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolveResult solve_lp_exact(const graph::Graph& g, const Demands& demands,
+                             std::int64_t max_iterations) {
+  assert(static_cast<NodeId>(demands.size()) == g.n());
+  LpSolveResult result;
+  const auto n = static_cast<std::size_t>(g.n());
+  if (n == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  // Columns: x (0..n-1), surplus s (n..2n-1), box slack u (2n..3n-1),
+  // artificial a (3n..4n-1). Rows: coverage (0..n-1), box (n..2n-1).
+  const std::size_t cols = 4 * n;
+  Tableau tableau(2 * n, cols);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    // Coverage row i: Σ_{j∈N[v]} x_j − s_i + a_i = k_i.
+    tableau.at(i, i) = 1.0;  // x_v itself (closed neighborhood)
+    for (NodeId w : g.neighbors(v)) {
+      tableau.at(i, static_cast<std::size_t>(w)) = 1.0;
+    }
+    tableau.at(i, n + i) = -1.0;      // surplus
+    tableau.at(i, 3 * n + i) = 1.0;   // artificial
+    tableau.rhs(i) = static_cast<double>(demands[i]);
+    tableau.basis(i) = 3 * n + i;
+    // Box row i: x_i + u_i = 1.
+    tableau.at(n + i, i) = 1.0;
+    tableau.at(n + i, 2 * n + i) = 1.0;
+    tableau.rhs(n + i) = 1.0;
+    tableau.basis(n + i) = 2 * n + i;
+  }
+
+  // Phase 1: minimize Σ artificials.
+  std::vector<double> phase1_cost(cols, 0.0);
+  for (std::size_t j = 3 * n; j < 4 * n; ++j) phase1_cost[j] = 1.0;
+  std::vector<std::uint8_t> blocked(cols, 0);
+  const double infeasibility =
+      tableau.minimize(phase1_cost, blocked, max_iterations,
+                       result.iterations, result.iteration_limit_hit);
+  if (result.iteration_limit_hit) return result;
+  if (infeasibility > 1e-6) {
+    result.feasible = false;
+    return result;
+  }
+
+  // Phase 2 prep: drive remaining artificials out of the basis (an
+  // artificial left basic could otherwise be pushed positive again by
+  // phase-2 pivots, silently leaving the feasible region) and forbid them
+  // from re-entering.
+  tableau.evict_artificials(3 * n);
+  for (std::size_t j = 3 * n; j < 4 * n; ++j) blocked[j] = 1;
+  std::vector<double> phase2_cost(cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j) phase2_cost[j] = 1.0;
+  result.objective =
+      tableau.minimize(phase2_cost, blocked, max_iterations,
+                       result.iterations, result.iteration_limit_hit);
+  if (result.iteration_limit_hit) return result;
+
+  result.feasible = true;
+  result.x.assign(n, 0.0);
+  // Read the basic solution.
+  for (std::size_t r = 0; r < 2 * n; ++r) {
+    const std::size_t var = tableau.basis(r);
+    if (var < n) {
+      result.x[var] = std::max(0.0, tableau.rhs(r));
+    }
+  }
+  return result;
+}
+
+}  // namespace ftc::domination

@@ -1,0 +1,42 @@
+// Exact fractional k-MDS via a dense two-phase simplex.
+//
+// The linear program is exactly the paper's (PP):
+//
+//   min Σ x_i   s.t.  Σ_{j∈N_i} x_j ≥ k_i  ∀i,   0 ≤ x_i ≤ 1.
+//
+// Solving it exactly gives the true OPT_f, letting experiment E1 report
+// Algorithm 1's *actual* approximation ratio on small and medium instances
+// instead of a ratio against weaker lower bounds.
+//
+// Method: textbook two-phase primal simplex on the full tableau with
+// Bland's anti-cycling rule. Standard form uses one surplus variable per
+// coverage row, one slack per box row, and one artificial per coverage row
+// (phase 1 drives Σ artificials to 0 or proves infeasibility). Dense
+// tableau of 2n rows × (4n+1) columns — intended for n up to a few
+// hundred, which is all the experiments need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "domination/domination.h"
+#include "graph/graph.h"
+
+namespace ftc::domination {
+
+/// Outcome of the exact LP solve.
+struct LpSolveResult {
+  bool feasible = false;   ///< the instance admits a fractional solution
+  double objective = 0.0;  ///< OPT_f when feasible
+  std::vector<double> x;   ///< an optimal solution (empty when infeasible)
+  std::int64_t iterations = 0;   ///< simplex pivots performed (both phases)
+  bool iteration_limit_hit = false;  ///< true → result not certified
+};
+
+/// Solves (PP) exactly. `max_iterations` caps total pivots (Bland's rule
+/// guarantees termination, the cap only guards pathological sizes).
+[[nodiscard]] LpSolveResult solve_lp_exact(
+    const graph::Graph& g, const Demands& demands,
+    std::int64_t max_iterations = 1'000'000);
+
+}  // namespace ftc::domination

@@ -1,0 +1,71 @@
+#include "domination/profiles.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ftc::domination {
+
+using graph::NodeId;
+
+Demands profile_uniform(const graph::Graph& g, std::int32_t k) {
+  return clamp_demands(g, uniform_demands(g.n(), k));
+}
+
+Demands profile_random(const graph::Graph& g, std::int32_t lo,
+                       std::int32_t hi, util::Rng& rng) {
+  assert(1 <= lo && lo <= hi);
+  Demands d(static_cast<std::size_t>(g.n()), 0);
+  for (auto& k : d) {
+    k = static_cast<std::int32_t>(rng.uniform_i64(lo, hi));
+  }
+  return clamp_demands(g, d);
+}
+
+Demands profile_degree_proportional(const graph::Graph& g, double fraction) {
+  assert(fraction > 0.0);
+  Demands d(static_cast<std::size_t>(g.n()), 1);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    d[static_cast<std::size_t>(v)] = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(
+               std::llround(fraction * static_cast<double>(g.degree(v)))));
+  }
+  return clamp_demands(g, d);
+}
+
+Demands profile_critical_nodes(const graph::Graph& g,
+                               std::span<const NodeId> critical,
+                               std::int32_t k_critical, std::int32_t k_base) {
+  Demands d(static_cast<std::size_t>(g.n()), k_base);
+  for (NodeId v : critical) {
+    assert(v >= 0 && v < g.n());
+    d[static_cast<std::size_t>(v)] = k_critical;
+  }
+  return clamp_demands(g, d);
+}
+
+Demands profile_border(const geom::UnitDiskGraph& udg, double margin,
+                       std::int32_t k_border, std::int32_t k_interior) {
+  assert(margin >= 0.0);
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+  if (!udg.positions.empty()) {
+    min_x = max_x = udg.positions.front().x;
+    min_y = max_y = udg.positions.front().y;
+    for (const geom::Point& p : udg.positions) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+  }
+  Demands d(static_cast<std::size_t>(udg.n()), k_interior);
+  for (NodeId v = 0; v < udg.n(); ++v) {
+    const geom::Point& p = udg.positions[static_cast<std::size_t>(v)];
+    const bool border = p.x - min_x < margin || max_x - p.x < margin ||
+                        p.y - min_y < margin || max_y - p.y < margin;
+    if (border) d[static_cast<std::size_t>(v)] = k_border;
+  }
+  return clamp_demands(udg.graph, d);
+}
+
+}  // namespace ftc::domination

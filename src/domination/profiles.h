@@ -1,0 +1,47 @@
+// Demand-vector generators for heterogeneous fault-tolerance requirements.
+//
+// The LP (PP) allows per-node demands k_i; real deployments want exactly
+// that: gateways need more redundancy than leaf sensors, dense regions can
+// afford more backup dominators than sparse ones. These profiles generate
+// the k_i vectors the experiments and examples use. All profiles clamp to
+// deg(i)+1, so the produced instance is always (PP)-feasible.
+#pragma once
+
+#include <cstdint>
+
+#include "domination/domination.h"
+#include "geom/udg.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftc::domination {
+
+/// Uniform k everywhere (clamped).
+[[nodiscard]] Demands profile_uniform(const graph::Graph& g, std::int32_t k);
+
+/// Independent uniform demands in [lo, hi] (clamped).
+/// Precondition: 1 <= lo <= hi.
+[[nodiscard]] Demands profile_random(const graph::Graph& g, std::int32_t lo,
+                                     std::int32_t hi, util::Rng& rng);
+
+/// Degree-proportional: k_i = max(1, round(fraction · deg(i))), clamped —
+/// hubs (which more traffic depends on) demand more redundancy.
+/// Precondition: fraction > 0.
+[[nodiscard]] Demands profile_degree_proportional(const graph::Graph& g,
+                                                  double fraction);
+
+/// A set of critical nodes demands k_critical; everyone else k_base
+/// (both clamped). Models gateways/sinks in a sensor field.
+[[nodiscard]] Demands profile_critical_nodes(
+    const graph::Graph& g, std::span<const graph::NodeId> critical,
+    std::int32_t k_critical, std::int32_t k_base);
+
+/// UDG-specific: nodes within `margin` of the deployment's bounding-box
+/// border demand k_border, the interior k_interior (both clamped). Border
+/// nodes have fewer neighbors, so they lose coverage first — a common
+/// hardening policy.
+[[nodiscard]] Demands profile_border(const geom::UnitDiskGraph& udg,
+                                     double margin, std::int32_t k_border,
+                                     std::int32_t k_interior);
+
+}  // namespace ftc::domination

@@ -1,0 +1,100 @@
+#include "geom/cover.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace ftc::geom {
+
+double lemma53_eta() noexcept {
+  return 16.0 * std::numbers::pi / (3.0 * std::numbers::sqrt3);
+}
+
+std::vector<Point> hex_cover_centers(Point center, double region_radius,
+                                     double disk_radius) {
+  assert(region_radius > 0.0 && disk_radius > 0.0);
+  // Covering lattice for disks of radius r: pitch √3·r within a row, rows
+  // 1.5·r apart, odd rows offset √3·r/2. Any plane point is then within r of
+  // a center (the hexagonal cell circumradius is exactly r).
+  const double r = disk_radius;
+  const double pitch = std::numbers::sqrt3 * r;
+  const double row_gap = 1.5 * r;
+  const double reach = region_radius + disk_radius;  // intersection condition
+
+  std::vector<Point> centers;
+  const auto j_max = static_cast<std::int64_t>(std::ceil(reach / row_gap));
+  for (std::int64_t j = -j_max; j <= j_max; ++j) {
+    const double y = center.y + static_cast<double>(j) * row_gap;
+    const double offset = (j % 2 != 0) ? pitch / 2.0 : 0.0;
+    const auto i_max =
+        static_cast<std::int64_t>(std::ceil((reach + pitch) / pitch));
+    for (std::int64_t i = -i_max; i <= i_max; ++i) {
+      const double x = center.x + static_cast<double>(i) * pitch + offset;
+      const Point c{x, y};
+      if (dist(c, center) < reach) {
+        centers.push_back(c);
+      }
+    }
+  }
+  return centers;
+}
+
+std::size_t measured_alpha(double region_radius, double disk_radius) {
+  return hex_cover_centers({0.0, 0.0}, region_radius, disk_radius).size();
+}
+
+double lemma53_bound(double disk_radius) {
+  // In the paper, small disks have radius θ_i/2 and the covered region has
+  // radius 1/2; the bound is α(i) < η / (4 θ_i²).
+  const double theta = 2.0 * disk_radius;
+  return lemma53_eta() / (4.0 * theta * theta);
+}
+
+std::vector<std::size_t> count_points_per_disk(
+    std::span<const Point> points, std::span<const graph::NodeId> subset,
+    std::span<const Point> centers, double disk_radius) {
+  std::vector<std::size_t> counts(centers.size(), 0);
+  const double r_sq = disk_radius * disk_radius;
+  for (graph::NodeId v : subset) {
+    const Point& p = points[static_cast<std::size_t>(v)];
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (dist_sq(p, centers[c]) <= r_sq) {
+        ++counts[c];
+      }
+    }
+  }
+  return counts;
+}
+
+std::size_t disks_intersecting_big_disk() {
+  // Scale-invariant: lattice disks of radius 1, D_i of radius 3 centered on
+  // a lattice point. "Fully or partially covered" = center distance < 3 + 1.
+  const auto centers = hex_cover_centers({0.0, 0.0}, 3.0, 1.0);
+  return centers.size();
+}
+
+bool covering_is_complete(Point center, double region_radius,
+                          double disk_radius, double sample_step) {
+  assert(sample_step > 0.0);
+  const auto centers = hex_cover_centers(center, region_radius, disk_radius);
+  const double r_sq = disk_radius * disk_radius;
+  for (double x = center.x - region_radius; x <= center.x + region_radius;
+       x += sample_step) {
+    for (double y = center.y - region_radius; y <= center.y + region_radius;
+         y += sample_step) {
+      const Point p{x, y};
+      if (dist(p, center) > region_radius) continue;  // outside the region
+      bool covered = false;
+      for (const Point& c : centers) {
+        if (dist_sq(p, c) <= r_sq) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ftc::geom

@@ -1,0 +1,66 @@
+// Hexagonal-lattice disk coverings — the geometry behind Figure 1 and
+// Lemma 5.3 of the paper.
+//
+// The analysis of Algorithm 3 tiles the plane with small disks C_i of radius
+// θ_i/2 arranged on a hexagonal lattice, and for each C_i considers the
+// concentric disk D_i of radius 3·θ_i/2 (which intersects 19 lattice disks,
+// Figure 1). Lemma 5.3 bounds α(i), the number of lattice disks needed to
+// cover a disk of radius 1/2, by η/(4θ_i²) with η = 16π/(3√3).
+//
+// This module provides the lattice enumeration, the α(i) count, and
+// per-disk point counting used by the leaders-per-disk experiment (E5).
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/graph.h"
+
+namespace ftc::geom {
+
+/// η = 16π/(3√3), the constant of Lemma 5.3.
+[[nodiscard]] double lemma53_eta() noexcept;
+
+/// Centers of disks of radius `disk_radius` arranged on a hexagonal lattice
+/// so that the union of the disks covers the whole plane, restricted to the
+/// centers whose disk intersects the disk of radius `region_radius` around
+/// `center`. The lattice is anchored at `center`.
+///
+/// Lattice geometry: for covering, adjacent centers sit at distance
+/// √3·r (rows of pitch √3·r, row spacing 1.5·r, odd rows offset by √3·r/2);
+/// every point of the plane is then within r of some center.
+[[nodiscard]] std::vector<Point> hex_cover_centers(Point center,
+                                                   double region_radius,
+                                                   double disk_radius);
+
+/// α(i) as measured: the number of hexagonal-lattice disks of radius
+/// `disk_radius` that intersect (and hence are used to cover) a disk of
+/// radius `region_radius`. Equals hex_cover_centers(...).size().
+[[nodiscard]] std::size_t measured_alpha(double region_radius,
+                                         double disk_radius);
+
+/// The bound of Lemma 5.3: η/(4·(disk_radius·2/θ... )) — in the paper's
+/// terms, for small-disk radius θ_i/2 covering a region of radius 1/2,
+/// the bound is η / (4·θ_i²) where θ_i = 2·disk_radius.
+[[nodiscard]] double lemma53_bound(double disk_radius);
+
+/// For each center in `centers`, counts how many of the points indexed by
+/// `subset` lie within `disk_radius` of it. Used to count leaders per
+/// covering disk (Lemma 5.5 / 5.6 experiments).
+[[nodiscard]] std::vector<std::size_t> count_points_per_disk(
+    std::span<const Point> points, std::span<const graph::NodeId> subset,
+    std::span<const Point> centers, double disk_radius);
+
+/// Verifies Figure 1's containment claim for one lattice cell: the number of
+/// lattice disks of radius r that intersect the concentric disk of radius
+/// 3r (D_i). The paper states D_i fully or partially covers 19 disks C_i.
+[[nodiscard]] std::size_t disks_intersecting_big_disk();
+
+/// Checks the defining property of the covering: every point of the sampled
+/// region of radius `region_radius` is within `disk_radius` of some center.
+/// Samples on a grid of pitch `sample_step`. Returns true when covered.
+[[nodiscard]] bool covering_is_complete(Point center, double region_radius,
+                                        double disk_radius,
+                                        double sample_step);
+
+}  // namespace ftc::geom

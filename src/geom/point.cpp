@@ -1,0 +1,3 @@
+// point.h is header-only; this translation unit exists so the geom library
+// always has at least one object file and to hold future non-inline helpers.
+#include "geom/point.h"

@@ -1,0 +1,38 @@
+// 2D Euclidean points for unit disk graph deployments.
+#pragma once
+
+#include <cmath>
+
+namespace ftc::geom {
+
+/// A point in the Euclidean plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+
+  Point operator+(const Point& o) const noexcept { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const noexcept { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const noexcept { return {x * s, y * s}; }
+};
+
+/// Squared Euclidean distance (avoids the sqrt when only comparisons are
+/// needed, e.g. in the UDG edge test).
+[[nodiscard]] inline double dist_sq(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+[[nodiscard]] inline double dist(const Point& a, const Point& b) noexcept {
+  return std::sqrt(dist_sq(a, b));
+}
+
+/// Euclidean norm of p viewed as a vector.
+[[nodiscard]] inline double norm(const Point& p) noexcept {
+  return std::sqrt(p.x * p.x + p.y * p.y);
+}
+
+}  // namespace ftc::geom

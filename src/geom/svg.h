@@ -1,0 +1,50 @@
+// SVG rendering of unit disk deployments — visual inspection of clusterings.
+//
+// Renders nodes as dots, radio links as thin segments, and any number of
+// highlighted node layers (e.g. the k-fold dominating set, then the
+// connectors added by the CDS extension) in distinct colors. Pure string
+// output; no external dependencies.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/udg.h"
+#include "graph/graph.h"
+
+namespace ftc::geom {
+
+/// One overlay of emphasized nodes.
+struct SvgLayer {
+  std::vector<graph::NodeId> nodes;
+  std::string color = "#1f77b4";  ///< CSS color of the layer's markers
+  double radius = 3.5;            ///< marker radius in px
+  std::string label;              ///< legend entry (omitted when empty)
+};
+
+/// Rendering knobs.
+struct SvgOptions {
+  double canvas_px = 800.0;   ///< width = height of the drawing area
+  double margin_px = 20.0;    ///< border around the deployment
+  bool draw_edges = true;     ///< radio links as light segments
+  std::string node_color = "#b0b0b0";
+  double node_radius = 1.8;
+};
+
+/// Writes an SVG of `udg` with the given overlay layers to `os`.
+void write_svg(std::ostream& os, const UnitDiskGraph& udg,
+               std::span<const SvgLayer> layers, const SvgOptions& options = {});
+
+/// Convenience: renders to a string.
+[[nodiscard]] std::string svg_string(const UnitDiskGraph& udg,
+                                     std::span<const SvgLayer> layers,
+                                     const SvgOptions& options = {});
+
+/// Convenience: writes the SVG to a file. Throws std::runtime_error on IO
+/// failure.
+void save_svg(const std::string& path, const UnitDiskGraph& udg,
+              std::span<const SvgLayer> layers, const SvgOptions& options = {});
+
+}  // namespace ftc::geom

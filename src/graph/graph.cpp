@@ -1,0 +1,97 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftc::graph {
+
+Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
+  assert(num_nodes >= 0);
+  // Normalize: u < v, dedupe.
+  std::vector<Edge> normalized;
+  normalized.reserve(edges.size());
+  for (const Edge& e : edges) {
+    assert(e.u != e.v && "self-loops are not allowed");
+    assert(e.u >= 0 && e.u < num_nodes);
+    assert(e.v >= 0 && e.v < num_nodes);
+    normalized.push_back(e.u < e.v ? e : Edge{e.v, e.u});
+  }
+  std::sort(normalized.begin(), normalized.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  normalized.erase(std::unique(normalized.begin(), normalized.end()),
+                   normalized.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : normalized) {
+    ++g.offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++g.offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(normalized.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : normalized) {
+    g.adjacency_[cursor[static_cast<std::size_t>(e.u)]++] = e.v;
+    g.adjacency_[cursor[static_cast<std::size_t>(e.v)]++] = e.u;
+  }
+  // Per-node neighbor lists are sorted because edges were processed in
+  // lexicographic order for u-entries but v-entries interleave; sort to be
+  // safe and to guarantee the documented invariant.
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    auto* begin = g.adjacency_.data() + g.offsets_[static_cast<std::size_t>(v)];
+    auto* end = g.adjacency_.data() + g.offsets_[static_cast<std::size_t>(v) + 1];
+    std::sort(begin, end);
+    g.max_degree_ = std::max(g.max_degree_, static_cast<NodeId>(end - begin));
+  }
+  return g;
+}
+
+Graph Graph::from_edges(NodeId num_nodes,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  std::vector<Edge> converted;
+  converted.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    converted.push_back({u, v});
+  }
+  return from_edges(num_nodes, converted);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u < 0 || v < 0 || u >= n() || v >= n() || u == v) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(m());
+  for (NodeId u = 0; u < n(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+Graph Graph::without_nodes(std::span<const NodeId> removed) const {
+  std::vector<bool> gone(static_cast<std::size_t>(n()), false);
+  for (NodeId v : removed) {
+    assert(v >= 0 && v < n());
+    gone[static_cast<std::size_t>(v)] = true;
+  }
+  std::vector<Edge> kept;
+  kept.reserve(m());
+  for (const Edge& e : edges()) {
+    if (!gone[static_cast<std::size_t>(e.u)] &&
+        !gone[static_cast<std::size_t>(e.v)]) {
+      kept.push_back(e);
+    }
+  }
+  return from_edges(n(), kept);
+}
+
+}  // namespace ftc::graph

@@ -1,0 +1,87 @@
+// Immutable undirected graph in compressed sparse row (CSR) form.
+//
+// This is the network topology substrate for the whole library: generators
+// produce Graphs, the synchronous simulator routes messages along Graph
+// edges, and the dominating-set algorithms read neighborhoods from it.
+//
+// Nodes are dense integer ids [0, n). Neighbor lists are sorted, enabling
+// O(log deg) adjacency tests and deterministic iteration order (important
+// for reproducibility of the distributed algorithms).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ftc::graph {
+
+/// Dense node identifier. Node ids are indices in [0, Graph::n()).
+using NodeId = std::int32_t;
+
+/// An undirected edge as an unordered pair (stored with u < v).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable undirected simple graph (no self-loops, no parallel edges).
+class Graph {
+ public:
+  /// Empty graph with zero nodes.
+  Graph() = default;
+
+  /// Builds a graph on `num_nodes` nodes from an edge list. Self-loops are
+  /// rejected (assert); duplicate edges (in either orientation) are merged.
+  /// Edge endpoints must lie in [0, num_nodes).
+  static Graph from_edges(NodeId num_nodes, std::span<const Edge> edges);
+
+  /// Convenience overload taking (u, v) pairs.
+  static Graph from_edges(NodeId num_nodes,
+                          const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  /// Number of nodes.
+  [[nodiscard]] NodeId n() const noexcept {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t m() const noexcept { return adjacency_.size() / 2; }
+
+  /// Degree of node v (number of neighbors, v itself not counted).
+  [[nodiscard]] NodeId degree(NodeId v) const noexcept {
+    return static_cast<NodeId>(offsets_[static_cast<std::size_t>(v) + 1] -
+                               offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Sorted open neighborhood of v (v itself excluded).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    const auto begin = offsets_[static_cast<std::size_t>(v)];
+    const auto end = offsets_[static_cast<std::size_t>(v) + 1];
+    return {adjacency_.data() + begin, adjacency_.data() + end};
+  }
+
+  /// Maximum degree Δ over all nodes (0 for the empty graph).
+  [[nodiscard]] NodeId max_degree() const noexcept { return max_degree_; }
+
+  /// True iff {u, v} is an edge. O(log deg(u)).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// All edges, each once, with u < v, in lexicographic order.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Returns the subgraph induced by deleting `removed` nodes (the node set
+  /// keeps its size; removed nodes simply become isolated). Used by the
+  /// fault-injection experiments, where crashed nodes stop participating
+  /// but ids must remain stable.
+  [[nodiscard]] Graph without_nodes(std::span<const NodeId> removed) const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<NodeId> adjacency_;     // size 2m, sorted per node
+  NodeId max_degree_ = 0;
+};
+
+}  // namespace ftc::graph

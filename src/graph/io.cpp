@@ -1,0 +1,87 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftc::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.n() << ' ' << g.m() << '\n';
+  for (const Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  auto next_data_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_data_line()) {
+    throw std::runtime_error("read_edge_list: missing header");
+  }
+  std::istringstream header(line);
+  long long n = 0, m = 0;
+  if (!(header >> n >> m) || n < 0 || m < 0) {
+    throw std::runtime_error("read_edge_list: bad header '" + line + "'");
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (long long i = 0; i < m; ++i) {
+    if (!next_data_line()) {
+      throw std::runtime_error("read_edge_list: expected " +
+                               std::to_string(m) + " edges, got " +
+                               std::to_string(i));
+    }
+    std::istringstream row(line);
+    long long u = 0, v = 0;
+    if (!(row >> u >> v) || u < 0 || v < 0 || u >= n || v >= n || u == v) {
+      throw std::runtime_error("read_edge_list: bad edge '" + line + "'");
+    }
+    edges.push_back(
+        {static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  return Graph::from_edges(static_cast<NodeId>(n), edges);
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_edge_list: cannot open " + path);
+  write_edge_list(out, g);
+  if (!out) throw std::runtime_error("save_edge_list: write failed " + path);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_edge_list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_dot(std::ostream& os, const Graph& g,
+               std::span<const NodeId> highlight) {
+  std::vector<bool> marked(static_cast<std::size_t>(g.n()), false);
+  for (NodeId v : highlight) marked[static_cast<std::size_t>(v)] = true;
+  os << "graph G {\n";
+  for (NodeId v = 0; v < g.n(); ++v) {
+    os << "  " << v;
+    if (marked[static_cast<std::size_t>(v)]) {
+      os << " [style=filled, fillcolor=lightblue]";
+    }
+    os << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace ftc::graph

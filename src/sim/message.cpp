@@ -1,0 +1,15 @@
+#include "sim/message.h"
+
+#include <cmath>
+
+namespace ftc::sim {
+
+Word encode_fixed(double value) noexcept {
+  return static_cast<Word>(std::llround(value * kFixedPointScale));
+}
+
+double decode_fixed(Word word) noexcept {
+  return static_cast<double>(word) / kFixedPointScale;
+}
+
+}  // namespace ftc::sim

@@ -1,0 +1,42 @@
+// Messages for the synchronous message-passing model (paper Section 3).
+//
+// The paper restricts messages to O(log n) bits, i.e. a constant number of
+// "words" where one word holds a node identifier, a bounded counter, or a
+// quantized numeric value. We model a message as a short vector of 64-bit
+// words and have the simulator account for the maximum words-per-message, so
+// the experiments can verify each algorithm's O(log n)-bits claim (a
+// constant word count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ftc::sim {
+
+/// One word of payload: models O(log n) bits.
+using Word = std::int64_t;
+
+/// A message in flight. `from` is filled in by the network, not the sender.
+struct Message {
+  graph::NodeId from = -1;
+  std::vector<Word> words;
+};
+
+/// Fixed-point encoding for fractional values carried in messages.
+///
+/// Algorithm 1 exchanges x-values in [0, 1 + (Δ+1)^{-q/t}]; a 2^-40
+/// fixed-point representation keeps quantization error far below the 1e-9
+/// feasibility epsilon used by the checkers while still fitting a word
+/// (log n bits in any realistic deployment; the paper's O(log n) budget
+/// allows any polynomially bounded value).
+inline constexpr double kFixedPointScale = 1099511627776.0;  // 2^40
+
+/// Quantizes a non-negative real to a fixed-point word (round to nearest).
+[[nodiscard]] Word encode_fixed(double value) noexcept;
+
+/// Inverse of encode_fixed.
+[[nodiscard]] double decode_fixed(Word word) noexcept;
+
+}  // namespace ftc::sim

@@ -1,0 +1,186 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace ftc::sim {
+
+using graph::NodeId;
+
+graph::NodeId Context::n() const noexcept {
+  return net_->backend_graph().n();
+}
+
+graph::NodeId Context::max_degree() const noexcept {
+  return net_->backend_graph().max_degree();
+}
+
+graph::NodeId Context::degree() const noexcept {
+  return net_->backend_graph().degree(self_);
+}
+
+std::span<const graph::NodeId> Context::neighbors() const noexcept {
+  return net_->backend_graph().neighbors(self_);
+}
+
+bool Context::has_distances() const noexcept {
+  return net_->backend_udg() != nullptr;
+}
+
+double Context::distance_to(graph::NodeId neighbor) const {
+  assert(has_distances());
+  assert(net_->backend_graph().has_edge(self_, neighbor));
+  return net_->backend_udg()->distance(self_, neighbor);
+}
+
+void Context::send(graph::NodeId to, std::vector<Word> words) {
+  assert(net_->backend_graph().has_edge(self_, to) &&
+         "send: destination must be a neighbor");
+  net_->backend_send(self_, to, std::move(words));
+}
+
+void Context::broadcast(const std::vector<Word>& words) {
+  for (graph::NodeId w : neighbors()) {
+    send(w, words);
+  }
+}
+
+SyncNetwork::SyncNetwork(const graph::Graph& g, std::uint64_t seed)
+    : graph_(&g) {
+  const auto n = static_cast<std::size_t>(g.n());
+  processes_.resize(n);
+  inboxes_.resize(n);
+  outboxes_.resize(n);
+  crashed_.assign(n, false);
+  rngs_.reserve(n);
+  const util::Rng root(seed);
+  for (std::size_t v = 0; v < n; ++v) {
+    rngs_.push_back(root.split(v));
+  }
+}
+
+SyncNetwork::SyncNetwork(const geom::UnitDiskGraph& udg, std::uint64_t seed)
+    : SyncNetwork(udg.graph, seed) {
+  udg_ = &udg;
+}
+
+void SyncNetwork::set_process(graph::NodeId v,
+                              std::unique_ptr<Process> process) {
+  assert(v >= 0 && v < graph_->n());
+  processes_[static_cast<std::size_t>(v)] = std::move(process);
+}
+
+void SyncNetwork::backend_send(graph::NodeId from, graph::NodeId to,
+                               std::vector<Word> words) {
+  metrics_.messages_sent += 1;
+  metrics_.words_sent += static_cast<std::int64_t>(words.size());
+  metrics_.max_message_words =
+      std::max(metrics_.max_message_words,
+               static_cast<std::int64_t>(words.size()));
+  Message msg;
+  msg.from = from;
+  msg.words = std::move(words);
+  outboxes_[static_cast<std::size_t>(to)].push_back(std::move(msg));
+}
+
+void SyncNetwork::apply_scheduled_crashes() {
+  for (auto it = scheduled_crashes_.begin();
+       it != scheduled_crashes_.end();) {
+    if (it->first <= round_) {
+      crash(it->second);
+      it = scheduled_crashes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SyncNetwork::crash(graph::NodeId v) {
+  assert(v >= 0 && v < graph_->n());
+  const auto idx = static_cast<std::size_t>(v);
+  crashed_[idx] = true;
+  inboxes_[idx].clear();
+  // Drop this node's in-flight traffic: both what it queued this round and
+  // what was delivered but not yet processed by receivers.
+  for (auto& box : outboxes_) {
+    std::erase_if(box, [v](const Message& m) { return m.from == v; });
+  }
+  for (auto& box : inboxes_) {
+    std::erase_if(box, [v](const Message& m) { return m.from == v; });
+  }
+}
+
+bool SyncNetwork::step() {
+  apply_scheduled_crashes();
+
+  // Run every live, unhalted process against the inbox delivered at the end
+  // of the previous round.
+  for (NodeId v = 0; v < graph_->n(); ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    Process* p = processes_[idx].get();
+    if (p == nullptr || p->halted() || crashed_[idx]) continue;
+
+    Context ctx;
+    ctx.net_ = this;
+    ctx.self_ = v;
+    ctx.round_ = round_;
+    ctx.rng_ = &rngs_[idx];
+    ctx.inbox_ = &inboxes_[idx];
+    p->on_round(ctx);
+  }
+
+  // Deliver: outboxes become next round's inboxes. Crashed receivers drop.
+  for (NodeId v = 0; v < graph_->n(); ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    inboxes_[idx].clear();
+    if (crashed_[idx]) {
+      outboxes_[idx].clear();
+      continue;
+    }
+    inboxes_[idx] = std::move(outboxes_[idx]);
+    outboxes_[idx].clear();
+    if (message_loss_ > 0.0) {
+      std::erase_if(inboxes_[idx], [this](const Message&) {
+        if (loss_rng_.bernoulli(message_loss_)) {
+          ++messages_lost_;
+          return true;
+        }
+        return false;
+      });
+    }
+    // Deterministic processing order for receivers regardless of send order.
+    std::sort(inboxes_[idx].begin(), inboxes_[idx].end(),
+              [](const Message& a, const Message& b) { return a.from < b.from; });
+  }
+
+  ++round_;
+  metrics_.rounds = round_;
+
+  for (NodeId v = 0; v < graph_->n(); ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    const Process* p = processes_[idx].get();
+    if (p != nullptr && !p->halted() && !crashed_[idx]) return true;
+  }
+  return false;
+}
+
+std::int64_t SyncNetwork::run(std::int64_t max_rounds) {
+  std::int64_t executed = 0;
+  while (executed < max_rounds) {
+    ++executed;
+    if (!step()) break;
+  }
+  return executed;
+}
+
+void SyncNetwork::schedule_crash(graph::NodeId v, std::int64_t round) {
+  assert(v >= 0 && v < graph_->n());
+  scheduled_crashes_.emplace_back(round, v);
+}
+
+void SyncNetwork::set_message_loss(double loss, std::uint64_t loss_seed) {
+  assert(loss >= 0.0 && loss < 1.0);
+  message_loss_ = loss;
+  loss_rng_ = util::Rng(loss_seed);
+}
+
+}  // namespace ftc::sim

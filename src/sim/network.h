@@ -1,0 +1,245 @@
+// Synchronous message-passing network simulator.
+//
+// Implements exactly the model of computation of the paper's Section 3:
+// time is divided into rounds; in every round each node may send one message
+// to each of its neighbors; messages sent in round r are delivered at the
+// start of round r+1. Message size is accounted in words (see message.h) to
+// audit the O(log n)-bits claim.
+//
+// Distributed algorithms are written as per-node `Process` objects that can
+// only observe:
+//   * their own id, degree, and sorted neighbor ids,
+//   * global parameters the paper assumes known (n, Δ — see the Remark at
+//     the end of Section 4.2),
+//   * distances to neighbors when the network was built from a unit disk
+//     graph (the distance-sensing assumption of Sections 3/5),
+//   * their private random stream,
+//   * the inbox of messages delivered this round.
+//
+// Crash faults: a node may be crashed at the start of any round; from then
+// on it neither sends, receives, nor computes. Messages already in flight
+// from it are dropped.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/udg.h"
+#include "graph/graph.h"
+#include "sim/message.h"
+#include "util/rng.h"
+
+namespace ftc::sim {
+
+class SyncNetwork;
+
+/// Execution statistics gathered by the network.
+struct Metrics {
+  std::int64_t rounds = 0;            ///< rounds executed
+  std::int64_t messages_sent = 0;     ///< total messages
+  std::int64_t words_sent = 0;        ///< total payload words
+  std::int64_t max_message_words = 0; ///< largest single message
+};
+
+/// Backend interface through which a Context reaches its network. Both the
+/// synchronous network (SyncNetwork) and the asynchronous executor
+/// (async.h's AsyncNetwork, which wraps every process in an α-synchronizer)
+/// implement it, so the same Process code runs unchanged on either.
+class NetworkBackend {
+ public:
+  virtual ~NetworkBackend() = default;
+
+  /// Topology the processes run on.
+  [[nodiscard]] virtual const graph::Graph& backend_graph() const noexcept = 0;
+  /// Embedding when built from a UDG; nullptr otherwise.
+  [[nodiscard]] virtual const geom::UnitDiskGraph* backend_udg()
+      const noexcept = 0;
+  /// Queues a message for delivery (next round / next pulse).
+  virtual void backend_send(graph::NodeId from, graph::NodeId to,
+                            std::vector<Word> words) = 0;
+};
+
+/// The per-round view a process gets of its node. Provided by the network;
+/// processes must not retain pointers past the round call.
+class Context {
+ public:
+  /// This node's id.
+  [[nodiscard]] graph::NodeId self() const noexcept { return self_; }
+  /// Number of nodes in the network (globally known per the paper).
+  [[nodiscard]] graph::NodeId n() const noexcept;
+  /// Maximum degree Δ of the network (globally known per the paper).
+  [[nodiscard]] graph::NodeId max_degree() const noexcept;
+  /// This node's degree.
+  [[nodiscard]] graph::NodeId degree() const noexcept;
+  /// Sorted ids of this node's neighbors.
+  [[nodiscard]] std::span<const graph::NodeId> neighbors() const noexcept;
+  /// Current round number (0-based).
+  [[nodiscard]] std::int64_t round() const noexcept { return round_; }
+
+  /// True when the network carries an embedding (distance sensing enabled).
+  [[nodiscard]] bool has_distances() const noexcept;
+  /// Euclidean distance to a neighbor. Precondition: has_distances() and
+  /// `neighbor` is adjacent to self().
+  [[nodiscard]] double distance_to(graph::NodeId neighbor) const;
+
+  /// This node's private random stream (stable across rounds).
+  [[nodiscard]] util::Rng& rng() noexcept { return *rng_; }
+
+  /// Messages delivered to this node at the start of this round (sent by
+  /// neighbors in the previous round).
+  [[nodiscard]] const std::vector<Message>& inbox() const noexcept {
+    return *inbox_;
+  }
+
+  /// Sends `words` to neighbor `to` (delivered next round). Precondition:
+  /// `to` is adjacent to self(). At most one message per neighbor per round
+  /// (the synchronous model); sending twice to the same neighbor asserts.
+  void send(graph::NodeId to, std::vector<Word> words);
+
+  /// Sends a copy of `words` to every neighbor.
+  void broadcast(const std::vector<Word>& words);
+
+ private:
+  friend class SyncNetwork;
+  friend class AsyncNetwork;
+  NetworkBackend* net_ = nullptr;
+  graph::NodeId self_ = -1;
+  std::int64_t round_ = 0;
+  util::Rng* rng_ = nullptr;
+  const std::vector<Message>* inbox_ = nullptr;
+};
+
+/// Base class for per-node programs.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Executes one synchronous round. Called once per round until halt().
+  virtual void on_round(Context& ctx) = 0;
+
+  /// True once the process has called halt(). A halted process no longer
+  /// computes or sends, but its node still receives (and drops) messages.
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+
+ protected:
+  /// Marks this process as finished. Terminates the network run once every
+  /// non-crashed process has halted.
+  void halt() noexcept { halted_ = true; }
+
+ private:
+  bool halted_ = false;
+};
+
+/// The synchronous network. Owns one Process per node.
+class SyncNetwork final : public NetworkBackend {
+ public:
+  /// Builds a network over `g`. `seed` derives every node's private random
+  /// stream; two runs with equal (graph, processes, seed) are identical.
+  SyncNetwork(const graph::Graph& g, std::uint64_t seed);
+
+  /// Builds a network over a unit disk graph, enabling distance sensing.
+  /// The UnitDiskGraph must outlive the network.
+  SyncNetwork(const geom::UnitDiskGraph& udg, std::uint64_t seed);
+
+  SyncNetwork(const SyncNetwork&) = delete;
+  SyncNetwork& operator=(const SyncNetwork&) = delete;
+
+  /// Installs the process for node v (replacing any previous one).
+  void set_process(graph::NodeId v, std::unique_ptr<Process> process);
+
+  /// Installs one process per node, built by `factory(v)`.
+  template <typename Factory>
+  void set_all_processes(Factory&& factory) {
+    for (graph::NodeId v = 0; v < graph_->n(); ++v) {
+      set_process(v, factory(v));
+    }
+  }
+
+  /// Runs rounds until every live process has halted or `max_rounds` rounds
+  /// have executed. Returns the number of rounds executed in this call.
+  std::int64_t run(std::int64_t max_rounds);
+
+  /// Executes a single round. Returns true if at least one live process is
+  /// still running afterwards.
+  bool step();
+
+  /// Enables lossy links: every message is dropped independently with
+  /// probability `loss` at delivery time (modeling the unreliable wireless
+  /// medium the paper's introduction cites). Uses a dedicated random
+  /// stream, so the processes' own randomness is unaffected. Set before
+  /// running; 0 disables.
+  void set_message_loss(double loss, std::uint64_t loss_seed = 0x10551055ULL);
+
+  /// Messages dropped by the loss model so far.
+  [[nodiscard]] std::int64_t messages_lost() const noexcept {
+    return messages_lost_;
+  }
+
+  /// Crashes node v immediately: it stops computing and communicating, and
+  /// any undelivered messages from it are dropped.
+  void crash(graph::NodeId v);
+
+  /// Schedules a crash of v at the start of round `round`.
+  void schedule_crash(graph::NodeId v, std::int64_t round);
+
+  /// True if v has crashed.
+  [[nodiscard]] bool crashed(graph::NodeId v) const noexcept {
+    return crashed_[static_cast<std::size_t>(v)];
+  }
+
+  /// The process installed at node v, downcast to T (checked by assert in
+  /// debug builds via dynamic_cast).
+  template <typename T>
+  [[nodiscard]] T& process_as(graph::NodeId v) {
+    auto* p = dynamic_cast<T*>(processes_[static_cast<std::size_t>(v)].get());
+    assert(p != nullptr && "process_as: wrong process type");
+    return *p;
+  }
+
+  /// Underlying graph.
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+
+  /// Embedding, or nullptr when built from a plain graph.
+  [[nodiscard]] const geom::UnitDiskGraph* udg() const noexcept { return udg_; }
+
+  /// Execution statistics.
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Current round number (rounds executed since construction).
+  [[nodiscard]] std::int64_t round() const noexcept { return round_; }
+
+ private:
+  friend class Context;
+
+  // NetworkBackend:
+  [[nodiscard]] const graph::Graph& backend_graph() const noexcept override {
+    return *graph_;
+  }
+  [[nodiscard]] const geom::UnitDiskGraph* backend_udg()
+      const noexcept override {
+    return udg_;
+  }
+  void backend_send(graph::NodeId from, graph::NodeId to,
+                    std::vector<Word> words) override;
+
+  void apply_scheduled_crashes();
+
+  const graph::Graph* graph_ = nullptr;
+  const geom::UnitDiskGraph* udg_ = nullptr;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<util::Rng> rngs_;
+  std::vector<std::vector<Message>> inboxes_;   // delivered this round
+  std::vector<std::vector<Message>> outboxes_;  // being sent this round
+  std::vector<bool> sent_to_;  // per-round guard: one message per edge
+  std::vector<bool> crashed_;
+  std::vector<std::pair<std::int64_t, graph::NodeId>> scheduled_crashes_;
+  double message_loss_ = 0.0;
+  util::Rng loss_rng_{0};
+  std::int64_t messages_lost_ = 0;
+  std::int64_t round_ = 0;
+  Metrics metrics_;
+};
+
+}  // namespace ftc::sim

@@ -1,0 +1,63 @@
+// Tiny command-line argument parser used by the bench and example binaries.
+//
+// Supported syntax: `--key=value`, `--flag` (value "1"), and positional
+// arguments. Unknown keys are collected verbatim so binaries can reject or
+// warn about typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ftc::util {
+
+/// Parsed command line. Construct from main()'s argc/argv, then query typed
+/// values with a default:
+///
+///   Args args(argc, argv);
+///   const int n = args.get_int("n", 1000);
+///   const std::string csv = args.get_string("csv", "");
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if --key (with or without a value) appeared.
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Raw string value of --key=value, or nullopt if absent.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters returning `fallback` when the key is absent. Throws
+  /// std::invalid_argument when the key is present but unparsable.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+
+  /// Parses a comma-separated list of integers ("1,2,5"), or `fallback` when
+  /// the key is absent.
+  [[nodiscard]] std::vector<long long> get_int_list(
+      const std::string& key, std::vector<long long> fallback) const;
+
+  /// Positional (non --key) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ftc::util

@@ -1,0 +1,39 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace ftc::util {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path, std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+}  // namespace ftc::util

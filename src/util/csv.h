@@ -1,0 +1,38 @@
+// Minimal CSV emission for machine-readable benchmark output.
+//
+// Bench binaries accept `--csv=<path>`; when given, each table row is also
+// appended to the CSV file so results can be post-processed or plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ftc::util {
+
+/// Writes rows of string cells as RFC-4180-ish CSV (cells containing commas,
+/// quotes or newlines are quoted; embedded quotes are doubled).
+class CsvWriter {
+ public:
+  /// Creates a writer that does nothing (no file). Useful as the default when
+  /// no --csv flag is provided.
+  CsvWriter() = default;
+
+  /// Opens `path` for writing (truncating) and writes `header` as the first
+  /// row. Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True if this writer is bound to an open file.
+  [[nodiscard]] bool is_open() const noexcept { return out_.is_open(); }
+
+  /// Writes one data row. No-op when not open.
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Escapes a single CSV cell per the quoting rules described on CsvWriter.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace ftc::util

@@ -1,0 +1,119 @@
+#include "algo/exact/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/baseline/greedy.h"
+#include "domination/domination.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::algo {
+namespace {
+
+using domination::clamp_demands;
+using domination::uniform_demands;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(Exact, StarOptimumIsOne) {
+  const Graph g = graph::star(9);
+  const auto result = exact_kmds(g, uniform_demands(9, 1));
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.set.size(), 1u);
+}
+
+TEST(Exact, PathOptimum) {
+  // MDS of a path of n nodes is ceil(n/3).
+  for (NodeId n : {3, 4, 6, 7, 9}) {
+    const Graph g = graph::path(n);
+    const auto result = exact_kmds(g, uniform_demands(n, 1));
+    ASSERT_TRUE(result.optimal);
+    EXPECT_EQ(result.set.size(), static_cast<std::size_t>((n + 2) / 3))
+        << "path of " << n;
+  }
+}
+
+TEST(Exact, CliqueKFoldOptimumIsK) {
+  const Graph g = graph::complete(7);
+  for (std::int32_t k : {1, 2, 4, 7}) {
+    const auto result = exact_kmds(g, uniform_demands(7, k));
+    ASSERT_TRUE(result.optimal);
+    EXPECT_EQ(result.set.size(), static_cast<std::size_t>(k));
+  }
+}
+
+TEST(Exact, CycleOptimum) {
+  // MDS of C_n is ceil(n/3).
+  const Graph g = graph::cycle(9);
+  const auto result = exact_kmds(g, uniform_demands(9, 1));
+  ASSERT_TRUE(result.optimal);
+  EXPECT_EQ(result.set.size(), 3u);
+}
+
+TEST(Exact, InfeasibleDetected) {
+  const Graph g = graph::path(3);
+  const auto result = exact_kmds(g, uniform_demands(3, 4));
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.set.empty());
+}
+
+TEST(Exact, SolutionIsFeasibleAndNotWorseThanGreedy) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = graph::gnp(18, 0.2, rng);
+    for (std::int32_t k : {1, 2, 3}) {
+      const auto d = clamp_demands(g, uniform_demands(18, k));
+      const auto exact = exact_kmds(g, d);
+      const auto greedy = greedy_kmds(g, d);
+      ASSERT_TRUE(exact.optimal);
+      EXPECT_TRUE(domination::is_k_dominating(g, exact.set, d));
+      EXPECT_LE(exact.set.size(), greedy.set.size());
+    }
+  }
+}
+
+TEST(Exact, GridOptimumMatchesKnown) {
+  // 3x3 grid: MDS = 3.
+  const Graph g = graph::grid(3, 3);
+  const auto result = exact_kmds(g, uniform_demands(9, 1));
+  ASSERT_TRUE(result.optimal);
+  EXPECT_EQ(result.set.size(), 3u);
+}
+
+TEST(Exact, ZeroDemands) {
+  const Graph g = graph::complete(4);
+  const auto result = exact_kmds(g, uniform_demands(4, 0));
+  EXPECT_TRUE(result.optimal);
+  EXPECT_TRUE(result.set.empty());
+}
+
+TEST(Exact, PerNodeDemandsRespected) {
+  const Graph g = graph::star(5);
+  // Leaves need 1, center needs 3.
+  domination::Demands d{3, 1, 1, 1, 1};
+  const auto result = exact_kmds(g, d);
+  ASSERT_TRUE(result.optimal);
+  EXPECT_TRUE(domination::is_k_dominating(g, result.set, d));
+  EXPECT_EQ(result.set.size(), 3u);  // center + 2 leaves
+}
+
+TEST(Exact, BudgetExhaustionIsReported) {
+  util::Rng rng(9);
+  const Graph g = graph::gnp(40, 0.3, rng);
+  const auto d = clamp_demands(g, uniform_demands(40, 3));
+  ExactOptions opts;
+  opts.node_budget = 10;  // absurdly small
+  const auto result = exact_kmds(g, d, opts);
+  EXPECT_FALSE(result.optimal);
+  // Incumbent (greedy) is still a valid cover.
+  EXPECT_TRUE(domination::is_k_dominating(g, result.set, d));
+}
+
+TEST(Exact, EmptyGraph) {
+  const auto result = exact_kmds(Graph{}, {});
+  EXPECT_TRUE(result.optimal);
+  EXPECT_TRUE(result.set.empty());
+}
+
+}  // namespace
+}  // namespace ftc::algo

@@ -1,0 +1,246 @@
+#include "algo/lp/lp_kmds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "domination/bounds.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::algo {
+namespace {
+
+using domination::clamp_demands;
+using domination::uniform_demands;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(LpKmds, Theorem45BoundFormula) {
+  // t=1: 1·((Δ+1)² + (Δ+1)).
+  EXPECT_DOUBLE_EQ(theorem45_bound(1, 3), 16.0 + 4.0);
+  // Large t approaches 2t.
+  EXPECT_NEAR(theorem45_bound(1000, 9), 2000.0, 20.0);
+}
+
+TEST(LpKmds, RoundCount) {
+  EXPECT_EQ(lp_round_count(1), 4);
+  EXPECT_EQ(lp_round_count(3), 20);
+  EXPECT_EQ(lp_round_count(10), 202);
+}
+
+TEST(LpKmds, SingleNode) {
+  const Graph g = graph::empty(1);
+  const auto result = solve_fractional_kmds(g, uniform_demands(1, 1), {});
+  ASSERT_EQ(result.primal.x.size(), 1u);
+  EXPECT_GE(result.primal.x[0], 1.0 - 1e-9);
+}
+
+TEST(LpKmds, PrimalFeasibleOnClique) {
+  const Graph g = graph::complete(8);
+  for (int t : {1, 2, 4}) {
+    for (std::int32_t k : {1, 3, 8}) {
+      LpOptions opts;
+      opts.t = t;
+      const auto result =
+          solve_fractional_kmds(g, uniform_demands(8, k), opts);
+      EXPECT_TRUE(domination::primal_feasible(g, result.primal,
+                                              uniform_demands(8, k)))
+          << "t=" << t << " k=" << k;
+    }
+  }
+}
+
+TEST(LpKmds, ObjectiveWithinTheorem45OfLowerBound) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gnp(60, 0.1, rng);
+    for (int t : {2, 3, 5}) {
+      const auto d = clamp_demands(g, uniform_demands(60, 2));
+      LpOptions opts;
+      opts.t = t;
+      const auto result = solve_fractional_kmds(g, d, opts);
+      const double lower = domination::best_lower_bound(
+          g, d, 0, result.dual_bound(d));
+      ASSERT_GT(lower, 0.0);
+      EXPECT_LE(result.primal.objective(),
+                theorem45_bound(t, g.max_degree()) * lower + 1e-6)
+          << "trial " << trial << " t " << t;
+    }
+  }
+}
+
+TEST(LpKmds, Lemma41InvariantHolds) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gnp(50, 0.15, rng);
+    for (int t : {1, 2, 4}) {
+      LpOptions opts;
+      opts.t = t;
+      const auto d = clamp_demands(g, uniform_demands(50, 2));
+      const auto result = solve_fractional_kmds(g, d, opts);
+      EXPECT_LE(result.max_lemma41_ratio, 1.0 + 1e-9)
+          << "trial " << trial << " t " << t;
+    }
+  }
+}
+
+TEST(LpKmds, DualFeasibleAfterScaling) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gnp(50, 0.12, rng);
+    for (int t : {1, 3}) {
+      LpOptions opts;
+      opts.t = t;
+      const auto d = clamp_demands(g, uniform_demands(50, 3));
+      const auto result = solve_fractional_kmds(g, d, opts);
+      // Lemma 4.4: raw dual violates by at most κ = t(Δ+1)^{1/t}.
+      EXPECT_LE(domination::max_dual_lhs(g, result.dual),
+                result.kappa + 1e-6);
+      // Scaled dual is feasible.
+      auto scaled = result.scaled_dual();
+      domination::clamp_tiny_negatives(scaled.y);
+      domination::clamp_tiny_negatives(scaled.z);
+      EXPECT_TRUE(domination::dual_feasible(g, scaled, 1e-6))
+          << "trial " << trial << " t " << t;
+    }
+  }
+}
+
+TEST(LpKmds, Lemma43AlphaBetaIdentity) {
+  // Lemma 4.3: Σ(k_i·y_i − z_i) equals Σ β — and both sides relate primal
+  // and dual through Lemma 4.2. We verify the directly checkable corollary:
+  // the dual objective is non-negative and lower-bounds the primal after
+  // scaling (weak duality).
+  util::Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gnp(40, 0.15, rng);
+    const auto d = clamp_demands(g, uniform_demands(40, 2));
+    LpOptions opts;
+    opts.t = 3;
+    const auto result = solve_fractional_kmds(g, d, opts);
+    const double dual_obj = result.dual_bound(d);
+    EXPECT_GE(dual_obj, -1e-6);
+    // Weak duality: scaled dual objective <= OPT_f <= primal objective.
+    EXPECT_LE(dual_obj, result.primal.objective() + 1e-6);
+  }
+}
+
+TEST(LpKmds, ZValuesNonNegative) {
+  util::Rng rng(11);
+  const Graph g = graph::gnp(40, 0.2, rng);
+  const auto d = clamp_demands(g, uniform_demands(40, 2));
+  const auto result = solve_fractional_kmds(g, d, {});
+  for (double z : result.dual.z) {
+    EXPECT_GE(z, -1e-6);
+  }
+}
+
+TEST(LpKmds, YValuesNonNegative) {
+  util::Rng rng(13);
+  const Graph g = graph::gnp(40, 0.2, rng);
+  const auto d = clamp_demands(g, uniform_demands(40, 3));
+  const auto result = solve_fractional_kmds(g, d, {});
+  for (double y : result.dual.y) {
+    EXPECT_GE(y, 0.0);
+  }
+}
+
+TEST(LpKmds, ZeroDemandStopsAfterFirstIteration) {
+  // With k_i = 0 everywhere, every node colors gray in the first inner
+  // iteration; the only x-mass is the single increment (Δ+1)^{-(t-1)/t}
+  // the paper's line 6 emits before the colors propagate.
+  const Graph g = graph::complete(5);
+  LpOptions opts;  // t = 3
+  const auto result = solve_fractional_kmds(g, uniform_demands(5, 0), opts);
+  const double first_increment = std::pow(5.0, -2.0 / 3.0);
+  EXPECT_NEAR(result.primal.objective(), 5.0 * first_increment, 1e-6);
+}
+
+TEST(LpKmds, QuantizedAndExactAgreeClosely) {
+  util::Rng rng(15);
+  const Graph g = graph::gnp(50, 0.1, rng);
+  const auto d = clamp_demands(g, uniform_demands(50, 2));
+  LpOptions quantized;
+  quantized.t = 3;
+  LpOptions exact;
+  exact.t = 3;
+  exact.quantize_messages = false;
+  const auto a = solve_fractional_kmds(g, d, quantized);
+  const auto b = solve_fractional_kmds(g, d, exact);
+  EXPECT_NEAR(a.primal.objective(), b.primal.objective(), 1e-4);
+}
+
+TEST(LpKmds, LargerTNeverHurtsMuch) {
+  // The t-dependence of the bound decreases; on typical instances the
+  // objective at t=6 should not exceed that at t=1.
+  util::Rng rng(17);
+  const Graph g = graph::gnp(80, 0.1, rng);
+  const auto d = clamp_demands(g, uniform_demands(80, 2));
+  LpOptions t1, t6;
+  t1.t = 1;
+  t6.t = 6;
+  const auto a = solve_fractional_kmds(g, d, t1);
+  const auto b = solve_fractional_kmds(g, d, t6);
+  EXPECT_LE(b.primal.objective(), a.primal.objective() + 1e-6);
+}
+
+// ---- Parameterized feasibility sweep across graph families ----
+
+enum class Family { kGnp, kGrid, kTree, kPowerLaw, kCaveman, kStar };
+
+class LpFeasibilitySweep
+    : public ::testing::TestWithParam<std::tuple<Family, int, std::int32_t>> {
+ protected:
+  static Graph make(Family f, util::Rng& rng) {
+    switch (f) {
+      case Family::kGnp:
+        return graph::gnp(70, 0.08, rng);
+      case Family::kGrid:
+        return graph::grid(8, 9);
+      case Family::kTree:
+        return graph::random_tree(70, rng);
+      case Family::kPowerLaw:
+        return graph::barabasi_albert(70, 2, rng);
+      case Family::kCaveman:
+        return graph::caveman(10, 7);
+      case Family::kStar:
+        return graph::star(70);
+    }
+    return Graph{};
+  }
+};
+
+TEST_P(LpFeasibilitySweep, PrimalFeasibleAndBounded) {
+  const auto [family, t, k] = GetParam();
+  util::Rng rng(1234);
+  const Graph g = make(family, rng);
+  const auto d = clamp_demands(g, uniform_demands(g.n(), k));
+  LpOptions opts;
+  opts.t = t;
+  const auto result = solve_fractional_kmds(g, d, opts);
+
+  EXPECT_TRUE(domination::primal_feasible(g, result.primal, d, 1e-6));
+  EXPECT_LE(result.max_lemma41_ratio, 1.0 + 1e-9);
+  for (double x : result.primal.x) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0 + 1e-9);
+  }
+  const double lower = domination::best_lower_bound(g, d, 0, result.dual_bound(d));
+  if (lower > 0) {
+    EXPECT_LE(result.primal.objective(),
+              theorem45_bound(t, g.max_degree()) * lower + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, LpFeasibilitySweep,
+    ::testing::Combine(::testing::Values(Family::kGnp, Family::kGrid,
+                                         Family::kTree, Family::kPowerLaw,
+                                         Family::kCaveman, Family::kStar),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values<std::int32_t>(1, 2, 4)));
+
+}  // namespace
+}  // namespace ftc::algo

@@ -1,0 +1,98 @@
+#include "algo/baseline/lrg.h"
+
+#include <gtest/gtest.h>
+
+#include "domination/domination.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::algo {
+namespace {
+
+using domination::clamp_demands;
+using domination::uniform_demands;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(Lrg, ProducesFeasibleCover) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::gnp(80, 0.06, rng);
+    for (std::int32_t k : {1, 2, 3}) {
+      const auto d = clamp_demands(g, uniform_demands(80, k));
+      const auto result = lrg_kmds(g, d, 1000 + trial);
+      EXPECT_TRUE(result.fully_satisfied) << "trial " << trial << " k " << k;
+      EXPECT_TRUE(domination::is_k_dominating(g, result.set, d))
+          << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(Lrg, DeterministicForSeed) {
+  util::Rng rng(2);
+  const Graph g = graph::gnp(50, 0.1, rng);
+  const auto d = uniform_demands(50, 1);
+  const auto a = lrg_kmds(g, d, 7);
+  const auto b = lrg_kmds(g, d, 7);
+  EXPECT_EQ(a.set, b.set);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Lrg, DifferentSeedsUsuallyDiffer) {
+  util::Rng rng(3);
+  const Graph g = graph::gnp(100, 0.08, rng);
+  const auto d = uniform_demands(100, 1);
+  const auto a = lrg_kmds(g, d, 1);
+  const auto b = lrg_kmds(g, d, 2);
+  // Not a hard guarantee, but with 100 nodes collision is implausible.
+  EXPECT_NE(a.set, b.set);
+}
+
+TEST(Lrg, ZeroDemandsPickNothing) {
+  const Graph g = graph::complete(5);
+  const auto result = lrg_kmds(g, uniform_demands(5, 0), 1);
+  EXPECT_TRUE(result.set.empty());
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(Lrg, RoundsAccounting) {
+  util::Rng rng(4);
+  const Graph g = graph::gnp(40, 0.15, rng);
+  const auto result = lrg_kmds(g, uniform_demands(40, 1), 5);
+  EXPECT_EQ(result.rounds, result.iterations * kLrgRoundsPerIteration);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(Lrg, InfeasibleInstanceFlagged) {
+  const Graph g = graph::path(3);
+  const auto result = lrg_kmds(g, uniform_demands(3, 5), 1);
+  EXPECT_FALSE(result.fully_satisfied);
+}
+
+TEST(Lrg, IsolatedNodesSelfSelect) {
+  const Graph g = graph::empty(6);
+  const auto result = lrg_kmds(g, uniform_demands(6, 1), 1);
+  EXPECT_TRUE(result.fully_satisfied);
+  EXPECT_EQ(result.set.size(), 6u);
+}
+
+TEST(Lrg, ConvergesInPolylogIterationsOnRandomGraphs) {
+  util::Rng rng(5);
+  const Graph g = graph::gnp(300, 0.03, rng);
+  const auto result = lrg_kmds(g, uniform_demands(300, 2), 11);
+  EXPECT_TRUE(result.fully_satisfied);
+  // O(log n · log Δ) expected; allow a wide constant.
+  EXPECT_LT(result.iterations, 120);
+}
+
+TEST(Lrg, StarSolvedFast) {
+  const Graph g = graph::star(50);
+  const auto result = lrg_kmds(g, uniform_demands(50, 1), 3);
+  EXPECT_TRUE(result.fully_satisfied);
+  // The hub has the uniquely maximal span, so it joins early; solution is
+  // near-optimal (hub possibly plus a few stragglers).
+  EXPECT_LE(result.set.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ftc::algo

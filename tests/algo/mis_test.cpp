@@ -1,0 +1,102 @@
+#include "algo/baseline/mis_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "domination/domination.h"
+#include "geom/udg.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::algo {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(GreedyMis, IsIndependentAndMaximal) {
+  util::Rng rng(1);
+  const Graph g = graph::gnp(60, 0.1, rng);
+  const std::vector<std::uint8_t> all(60, 1);
+  const auto mis = greedy_mis(g, all);
+  // Independence.
+  for (std::size_t i = 0; i < mis.size(); ++i) {
+    for (std::size_t j = i + 1; j < mis.size(); ++j) {
+      EXPECT_FALSE(g.has_edge(mis[i], mis[j]));
+    }
+  }
+  // Maximality: every node is in the MIS or adjacent to it.
+  const auto members = domination::to_membership(g, mis);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    bool dominated = members[static_cast<std::size_t>(v)] != 0;
+    for (NodeId w : g.neighbors(v)) {
+      dominated = dominated || members[static_cast<std::size_t>(w)] != 0;
+    }
+    EXPECT_TRUE(dominated) << "node " << v;
+  }
+}
+
+TEST(GreedyMis, RespectsEligibility) {
+  const Graph g = graph::complete(4);
+  std::vector<std::uint8_t> eligible{0, 1, 1, 0};
+  const auto mis = greedy_mis(g, eligible);
+  EXPECT_EQ(mis, (std::vector<NodeId>{1}));
+}
+
+TEST(MisKfold, OpenModeKDomination) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const geom::UnitDiskGraph udg = geom::uniform_udg_with_degree(
+        300, 15.0, rng);
+    for (std::int32_t k : {1, 2, 3, 5}) {
+      const auto result = mis_kfold(udg.graph, k);
+      EXPECT_TRUE(domination::is_k_dominating(
+          udg.graph, result.set, k, domination::Mode::kOpenForNonMembers))
+          << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(MisKfold, DisjointRounds) {
+  util::Rng rng(3);
+  const Graph g = graph::gnp(80, 0.08, rng);
+  const auto result = mis_kfold(g, 3);
+  ASSERT_EQ(result.mis_sizes.size(), 3u);
+  std::int64_t total = 0;
+  for (auto s : result.mis_sizes) total += s;
+  // Rounds are disjoint, so the union size equals the sum of sizes.
+  EXPECT_EQ(static_cast<std::int64_t>(result.set.size()), total);
+}
+
+TEST(MisKfold, KOneIsPlainMis) {
+  util::Rng rng(4);
+  const Graph g = graph::gnp(50, 0.12, rng);
+  const std::vector<std::uint8_t> all(50, 1);
+  EXPECT_EQ(mis_kfold(g, 1).set, greedy_mis(g, all));
+}
+
+TEST(MisKfold, CliqueTakesKNodes) {
+  const Graph g = graph::complete(6);
+  const auto result = mis_kfold(g, 3);
+  EXPECT_EQ(result.set.size(), 3u);  // one node per MIS round
+}
+
+TEST(MisKfold, SmallDegreeNodesGetAbsorbed) {
+  // A path with k larger than degrees: nodes exhaust their neighborhoods
+  // and join the set themselves; open-mode domination still holds.
+  const Graph g = graph::path(6);
+  const auto result = mis_kfold(g, 4);
+  EXPECT_TRUE(domination::is_k_dominating(
+      g, result.set, 4, domination::Mode::kOpenForNonMembers));
+}
+
+TEST(MisKfold, GrowsRoughlyLinearlyInK) {
+  util::Rng rng(5);
+  const geom::UnitDiskGraph udg = geom::uniform_udg_with_degree(400, 20.0, rng);
+  const auto k1 = mis_kfold(udg.graph, 1);
+  const auto k4 = mis_kfold(udg.graph, 4);
+  EXPECT_GT(k4.set.size(), 2 * k1.set.size());
+  EXPECT_LT(k4.set.size(), 8 * k1.set.size());
+}
+
+}  // namespace
+}  // namespace ftc::algo

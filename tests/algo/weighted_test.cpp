@@ -1,0 +1,208 @@
+#include "algo/weighted/weighted.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algo/baseline/greedy.h"
+#include "algo/exact/exact.h"
+#include "algo/lp/lp_kmds.h"
+#include "domination/bounds.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::algo {
+namespace {
+
+using domination::clamp_demands;
+using domination::uniform_demands;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(Weights, Constructors) {
+  const auto u = uniform_weights(4);
+  EXPECT_EQ(u, (NodeWeights{1, 1, 1, 1}));
+  util::Rng rng(1);
+  const auto r = random_weights(100, 0.5, 2.0, rng);
+  EXPECT_EQ(r.size(), 100u);
+  for (double w : r) {
+    EXPECT_GE(w, 0.5);
+    EXPECT_LE(w, 2.0);
+  }
+}
+
+TEST(Weights, SetWeight) {
+  const NodeWeights w{1.0, 2.0, 4.0};
+  const std::vector<NodeId> set{0, 2};
+  EXPECT_DOUBLE_EQ(set_weight(set, w), 5.0);
+  EXPECT_DOUBLE_EQ(set_weight({}, w), 0.0);
+}
+
+TEST(WeightedGreedy, UnweightedMatchesPlainGreedy) {
+  util::Rng rng(2);
+  const Graph g = graph::gnp(50, 0.1, rng);
+  const auto d = clamp_demands(g, uniform_demands(50, 2));
+  const auto plain = greedy_kmds(g, d);
+  const auto weighted = weighted_greedy_kmds(g, d, uniform_weights(50));
+  // Same tie-breaking and same criterion (weight/span = 1/span), so the
+  // result sets should coincide.
+  EXPECT_EQ(weighted.set, plain.set);
+  EXPECT_DOUBLE_EQ(weighted.weight,
+                   static_cast<double>(plain.set.size()));
+}
+
+TEST(WeightedGreedy, AvoidsExpensiveCenter) {
+  // Star where the hub is prohibitively expensive: covering the leaves via
+  // the hub costs 1000; covering each leaf by itself costs 1 each.
+  const Graph g = graph::star(6);
+  NodeWeights w{1000, 1, 1, 1, 1, 1};
+  const auto result =
+      weighted_greedy_kmds(g, uniform_demands(6, 1), w);
+  EXPECT_TRUE(result.fully_satisfied);
+  EXPECT_EQ(result.set, (std::vector<NodeId>{1, 2, 3, 4, 5}));
+  EXPECT_DOUBLE_EQ(result.weight, 5.0);
+}
+
+TEST(WeightedGreedy, PrefersCheapHub) {
+  const Graph g = graph::star(6);
+  NodeWeights w{1, 10, 10, 10, 10, 10};
+  const auto result =
+      weighted_greedy_kmds(g, uniform_demands(6, 1), w);
+  EXPECT_EQ(result.set, (std::vector<NodeId>{0}));
+}
+
+TEST(WeightedGreedy, AlwaysFeasibleOnFeasibleInstances) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = graph::gnp(60, 0.1, rng);
+    const auto d = clamp_demands(g, uniform_demands(60, 3));
+    const auto w = random_weights(60, 0.1, 5.0, rng);
+    const auto result = weighted_greedy_kmds(g, d, w);
+    EXPECT_TRUE(result.fully_satisfied);
+    EXPECT_TRUE(domination::is_k_dominating(g, result.set, d));
+    EXPECT_NEAR(result.weight, set_weight(result.set, w), 1e-9);
+  }
+}
+
+TEST(WeightedExact, MatchesUnweightedExactUnderUniformWeights) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gnp(14, 0.25, rng);
+    const auto d = clamp_demands(g, uniform_demands(14, 2));
+    const auto unweighted = exact_kmds(g, d);
+    const auto weighted =
+        weighted_exact_kmds(g, d, uniform_weights(14));
+    ASSERT_TRUE(unweighted.optimal && weighted.optimal);
+    EXPECT_DOUBLE_EQ(weighted.weight,
+                     static_cast<double>(unweighted.set.size()));
+  }
+}
+
+TEST(WeightedExact, FindsCheaperNonMinimumCardinalitySolution) {
+  // Path 0-1-2 with k=1. Cardinality optimum is {1} (cost 100); the weight
+  // optimum is {0, 2} (cost 2).
+  const Graph g = graph::path(3);
+  NodeWeights w{1, 100, 1};
+  const auto result =
+      weighted_exact_kmds(g, uniform_demands(3, 1), w);
+  ASSERT_TRUE(result.optimal);
+  EXPECT_EQ(result.set, (std::vector<NodeId>{0, 2}));
+  EXPECT_DOUBLE_EQ(result.weight, 2.0);
+}
+
+TEST(WeightedExact, InfeasibleDetected) {
+  const Graph g = graph::path(3);
+  const auto result = weighted_exact_kmds(g, uniform_demands(3, 4),
+                                          uniform_weights(3));
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(WeightedExact, GreedyNeverBeatsExact) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = graph::gnp(13, 0.3, rng);
+    const auto d = clamp_demands(g, uniform_demands(13, 2));
+    const auto w = random_weights(13, 0.2, 3.0, rng);
+    const auto exact = weighted_exact_kmds(g, d, w);
+    const auto greedy = weighted_greedy_kmds(g, d, w);
+    ASSERT_TRUE(exact.optimal);
+    EXPECT_LE(exact.weight, greedy.weight + 1e-9);
+    EXPECT_TRUE(domination::is_k_dominating(g, exact.set, d));
+  }
+}
+
+TEST(WeightedRounding, FeasibleAndAccounted) {
+  util::Rng rng(6);
+  const Graph g = graph::gnp(60, 0.1, rng);
+  const auto d = clamp_demands(g, uniform_demands(60, 2));
+  const auto w = random_weights(60, 0.5, 2.0, rng);
+  LpOptions opts;
+  const auto lp = solve_fractional_kmds(g, d, opts);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto result =
+        weighted_round_fractional(g, lp.primal, d, w, seed);
+    EXPECT_TRUE(domination::is_k_dominating(g, result.set, d));
+    EXPECT_NEAR(result.weight, set_weight(result.set, w), 1e-9);
+    EXPECT_EQ(result.chosen_by_coin + result.chosen_by_request,
+              static_cast<std::int64_t>(result.set.size()));
+  }
+}
+
+TEST(WeightedRounding, RequestsPickCheapCandidates) {
+  // All-zero fractional solution on a clique: coverage comes entirely from
+  // requests, which should pick the k cheapest nodes.
+  const Graph g = graph::complete(6);
+  domination::FractionalSolution x;
+  x.x.assign(6, 0.0);
+  NodeWeights w{5, 1, 4, 2, 3, 6};
+  const auto result =
+      weighted_round_fractional(g, x, uniform_demands(6, 2), w, 3);
+  EXPECT_EQ(result.set, (std::vector<NodeId>{1, 3}));  // cheapest two
+}
+
+TEST(WeightedLowerBound, SoundAgainstExact) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = graph::gnp(14, 0.25, rng);
+    const auto d = clamp_demands(g, uniform_demands(14, 2));
+    const auto w = random_weights(14, 0.3, 2.5, rng);
+    const auto exact = weighted_exact_kmds(g, d, w);
+    ASSERT_TRUE(exact.optimal);
+    EXPECT_LE(weighted_lower_bound(g, d, w), exact.weight + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(WeightedLowerBound, PerNodeRefinementBeatsPacking) {
+  // One node with a large demand surrounded by expensive neighbors makes
+  // the per-node bound dominate.
+  const Graph g = graph::star(5);
+  NodeWeights w{1, 10, 10, 10, 10};
+  domination::Demands d{3, 1, 1, 1, 1};
+  // Cheapest 3 in N[0]: {1, 10, 10} -> 21.
+  EXPECT_DOUBLE_EQ(weighted_lower_bound(g, d, w), 21.0);
+}
+
+class WeightedSweep
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, int>> {};
+
+TEST_P(WeightedSweep, GreedyWithinHarmonicOfExact) {
+  const auto [k, trial] = GetParam();
+  util::Rng rng(900 + static_cast<std::uint64_t>(trial));
+  const Graph g = graph::gnp(15, 0.3, rng);
+  const auto d = clamp_demands(g, uniform_demands(15, k));
+  const auto w = random_weights(15, 0.2, 4.0, rng);
+  const auto exact = weighted_exact_kmds(g, d, w);
+  const auto greedy = weighted_greedy_kmds(g, d, w);
+  ASSERT_TRUE(exact.optimal);
+  const double h = domination::harmonic(g.max_degree() + 1);
+  EXPECT_LE(greedy.weight, h * exact.weight + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WeightedSweep,
+    ::testing::Combine(::testing::Values<std::int32_t>(1, 2, 3),
+                       ::testing::Range(0, 5)));
+
+}  // namespace
+}  // namespace ftc::algo

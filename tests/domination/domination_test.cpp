@@ -1,0 +1,135 @@
+#include "domination/domination.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::domination {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(UniformDemands, Basics) {
+  const Demands d = uniform_demands(4, 3);
+  EXPECT_EQ(d.size(), 4u);
+  for (auto k : d) EXPECT_EQ(k, 3);
+}
+
+TEST(ClosedCoverage, SelfCounts) {
+  const Graph g = graph::path(3);
+  const std::vector<std::uint8_t> members{0, 1, 0};  // only node 1
+  const auto cover = closed_coverage_counts(g, members);
+  EXPECT_EQ(cover, (std::vector<std::int32_t>{1, 1, 1}));
+}
+
+TEST(ClosedCoverage, AllMembers) {
+  const Graph g = graph::cycle(4);
+  const std::vector<std::uint8_t> members{1, 1, 1, 1};
+  const auto cover = closed_coverage_counts(g, members);
+  for (auto c : cover) EXPECT_EQ(c, 3);  // self + 2 neighbors
+}
+
+TEST(Membership, RoundTrip) {
+  const Graph g = graph::path(5);
+  const std::vector<NodeId> set{1, 3};
+  const auto members = to_membership(g, set);
+  EXPECT_EQ(to_node_list(members), set);
+}
+
+TEST(IsKDominating, WholeSetAlwaysDominatesClosedMode) {
+  util::Rng rng(1);
+  const Graph g = graph::gnp(30, 0.1, rng);
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < g.n(); ++v) all.push_back(v);
+  EXPECT_TRUE(is_k_dominating(g, all, 1, Mode::kClosedNeighborhood));
+}
+
+TEST(IsKDominating, EmptySetFailsUnlessZeroDemand) {
+  const Graph g = graph::path(3);
+  EXPECT_FALSE(is_k_dominating(g, {}, 1));
+  EXPECT_TRUE(is_k_dominating(g, {}, 0));
+}
+
+TEST(IsKDominating, StarCenterDominates) {
+  const Graph g = graph::star(6);
+  const std::vector<NodeId> center{0};
+  EXPECT_TRUE(is_k_dominating(g, center, 1, Mode::kClosedNeighborhood));
+  EXPECT_TRUE(is_k_dominating(g, center, 1, Mode::kOpenForNonMembers));
+  EXPECT_FALSE(is_k_dominating(g, center, 2, Mode::kClosedNeighborhood));
+}
+
+TEST(IsKDominating, ModesDifferOnMembers) {
+  // Path 0-1-2 with S = {0, 2}: node 0 has closed coverage 1 (<2) but as a
+  // member it needs nothing under the paper definition. Node 1 has open
+  // coverage 2.
+  const Graph g = graph::path(3);
+  const std::vector<NodeId> set{0, 2};
+  EXPECT_TRUE(is_k_dominating(g, set, 2, Mode::kOpenForNonMembers));
+  EXPECT_FALSE(is_k_dominating(g, set, 2, Mode::kClosedNeighborhood));
+}
+
+TEST(IsKDominating, KFoldOnClique) {
+  const Graph g = graph::complete(5);
+  const std::vector<NodeId> set{0, 1, 2};
+  EXPECT_TRUE(is_k_dominating(g, set, 3, Mode::kClosedNeighborhood));
+  EXPECT_FALSE(is_k_dominating(g, set, 4, Mode::kClosedNeighborhood));
+}
+
+TEST(IsKDominating, PerNodeDemands) {
+  const Graph g = graph::path(3);
+  Demands d{1, 2, 1};
+  EXPECT_TRUE(is_k_dominating(g, std::vector<NodeId>{1}, Demands{1, 1, 1}));
+  // Node 1 needs 2: {1} gives it closed coverage 1 only.
+  EXPECT_FALSE(is_k_dominating(g, std::vector<NodeId>{1}, d));
+  EXPECT_TRUE(is_k_dominating(g, std::vector<NodeId>{0, 1}, d));
+}
+
+TEST(Deficiency, CountsShortfall) {
+  const Graph g = graph::path(3);
+  // Empty set, k=2 everywhere: each node lacks 2 -> total 6.
+  EXPECT_EQ(deficiency(g, {}, uniform_demands(3, 2)), 6);
+  // S={1}: closed coverage 1 everywhere -> each lacks 1 -> total 3.
+  EXPECT_EQ(deficiency(g, std::vector<NodeId>{1}, uniform_demands(3, 2)), 3);
+}
+
+TEST(Deficiency, OpenModeIgnoresMembers) {
+  const Graph g = graph::path(3);
+  const std::vector<NodeId> set{0, 1, 2};
+  EXPECT_EQ(deficiency(g, set, uniform_demands(3, 5),
+                       Mode::kOpenForNonMembers),
+            0);
+}
+
+TEST(InstanceFeasible, ClosedModeRequiresDegreePlusOne) {
+  const Graph g = graph::path(3);  // degrees 1,2,1
+  EXPECT_TRUE(instance_feasible(g, uniform_demands(3, 2)));
+  EXPECT_FALSE(instance_feasible(g, uniform_demands(3, 3)));
+  EXPECT_TRUE(instance_feasible(g, Demands{2, 3, 2}));
+}
+
+TEST(InstanceFeasible, OpenModeAlwaysFeasible) {
+  const Graph g = graph::empty(3);
+  EXPECT_TRUE(
+      instance_feasible(g, uniform_demands(3, 99), Mode::kOpenForNonMembers));
+}
+
+TEST(ClampDemands, ClampsToClosedNeighborhood) {
+  const Graph g = graph::path(3);
+  const Demands clamped = clamp_demands(g, uniform_demands(3, 5));
+  EXPECT_EQ(clamped, (Demands{2, 3, 2}));
+  EXPECT_TRUE(instance_feasible(g, clamped));
+}
+
+TEST(Deficiency, ZeroForFeasibleCover) {
+  util::Rng rng(2);
+  const Graph g = graph::gnp(40, 0.3, rng);
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < g.n(); ++v) all.push_back(v);
+  const Demands d = clamp_demands(g, uniform_demands(g.n(), 3));
+  EXPECT_EQ(deficiency(g, all, d), 0);
+}
+
+}  // namespace
+}  // namespace ftc::domination

@@ -1,0 +1,112 @@
+#include "domination/fractional.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ftc::domination {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(FractionalSolution, Objective) {
+  FractionalSolution x;
+  x.x = {0.5, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(x.objective(), 1.0);
+  EXPECT_DOUBLE_EQ(FractionalSolution{}.objective(), 0.0);
+}
+
+TEST(DualSolution, Objective) {
+  DualSolution d;
+  d.y = {0.5, 1.0};
+  d.z = {0.25, 0.0};
+  EXPECT_DOUBLE_EQ(d.objective(Demands{2, 1}), 2.0 * 0.5 - 0.25 + 1.0);
+}
+
+TEST(ClosedNeighborhoodSum, IncludesSelf) {
+  const Graph g = graph::path(3);
+  const std::vector<double> vals{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(closed_neighborhood_sum(g, 0, vals), 3.0);
+  EXPECT_DOUBLE_EQ(closed_neighborhood_sum(g, 1, vals), 7.0);
+  EXPECT_DOUBLE_EQ(closed_neighborhood_sum(g, 2, vals), 6.0);
+}
+
+TEST(PrimalFeasible, UniformHalfOnTriangle) {
+  const Graph g = graph::complete(3);
+  FractionalSolution x;
+  x.x = {0.5, 0.5, 0.5};
+  EXPECT_TRUE(primal_feasible(g, x, uniform_demands(3, 1)));
+  EXPECT_FALSE(primal_feasible(g, x, uniform_demands(3, 2)));
+}
+
+TEST(PrimalFeasible, BoxConstraintViolations) {
+  const Graph g = graph::complete(3);
+  FractionalSolution x;
+  x.x = {1.5, 0.0, 0.0};
+  EXPECT_FALSE(primal_feasible(g, x, uniform_demands(3, 1)));
+  x.x = {-0.5, 1.0, 1.0};
+  EXPECT_FALSE(primal_feasible(g, x, uniform_demands(3, 1)));
+}
+
+TEST(PrimalFeasible, EpsilonTolerance) {
+  const Graph g = graph::complete(2);
+  FractionalSolution x;
+  x.x = {0.5, 0.5 - 1e-9};  // coverage 1 - 1e-9
+  EXPECT_TRUE(primal_feasible(g, x, uniform_demands(2, 1), 1e-7));
+  EXPECT_FALSE(primal_feasible(g, x, uniform_demands(2, 1), 1e-12));
+}
+
+TEST(MaxPrimalViolation, SignConvention) {
+  const Graph g = graph::complete(2);
+  FractionalSolution x;
+  x.x = {0.25, 0.25};
+  // Coverage 0.5 against demand 1 -> violation 0.5.
+  EXPECT_NEAR(max_primal_violation(g, x, uniform_demands(2, 1)), 0.5, 1e-12);
+  x.x = {1.0, 1.0};
+  EXPECT_LT(max_primal_violation(g, x, uniform_demands(2, 1)), 0.0);
+}
+
+TEST(MaxDualLhs, Computes) {
+  const Graph g = graph::path(2);
+  DualSolution d;
+  d.y = {0.5, 0.75};
+  d.z = {0.25, 0.0};
+  // Node 0: 0.5+0.75-0.25 = 1.0; node 1: 1.25.
+  EXPECT_DOUBLE_EQ(max_dual_lhs(g, d), 1.25);
+}
+
+TEST(DualFeasible, Cases) {
+  const Graph g = graph::path(2);
+  DualSolution d;
+  d.y = {0.5, 0.5};
+  d.z = {0.0, 0.0};
+  EXPECT_TRUE(dual_feasible(g, d));
+  d.y = {0.8, 0.8};
+  EXPECT_FALSE(dual_feasible(g, d));  // LHS 1.6 > 1
+  d.y = {0.5, 0.5};
+  d.z = {-0.5, 0.0};
+  EXPECT_FALSE(dual_feasible(g, d));  // negative z
+}
+
+TEST(ClampTinyNegatives, OnlyTinyOnesChange) {
+  std::vector<double> v{-1e-9, -0.5, 0.3, -1e-8};
+  clamp_tiny_negatives(v, 1e-7);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], -0.5);
+  EXPECT_DOUBLE_EQ(v[2], 0.3);
+  EXPECT_DOUBLE_EQ(v[3], 0.0);
+}
+
+TEST(EmptyGraph, CheckersAreSafe) {
+  const Graph g;
+  FractionalSolution x;
+  DualSolution d;
+  EXPECT_TRUE(primal_feasible(g, x, {}));
+  EXPECT_TRUE(dual_feasible(g, d));
+  EXPECT_DOUBLE_EQ(max_primal_violation(g, x, {}), 0.0);
+  EXPECT_DOUBLE_EQ(max_dual_lhs(g, d), 0.0);
+}
+
+}  // namespace
+}  // namespace ftc::domination

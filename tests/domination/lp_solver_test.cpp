@@ -1,0 +1,181 @@
+#include "domination/lp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algo/exact/exact.h"
+#include "algo/lp/lp_kmds.h"
+#include "domination/bounds.h"
+#include "domination/fractional.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::domination {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(LpExact, EmptyGraph) {
+  const auto result = solve_lp_exact(Graph{}, {});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.objective, 0.0);
+}
+
+TEST(LpExact, SingleNode) {
+  const Graph g = graph::empty(1);
+  const auto result = solve_lp_exact(g, uniform_demands(1, 1));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.objective, 1.0, 1e-9);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-9);
+}
+
+TEST(LpExact, CliqueOptimumIsK) {
+  // Vertex-transitive: the uniform solution x = k/n is optimal, objective k.
+  for (NodeId n : {4, 7}) {
+    for (std::int32_t k : {1, 2, 3}) {
+      const Graph g = graph::complete(n);
+      const auto result = solve_lp_exact(g, uniform_demands(n, k));
+      ASSERT_TRUE(result.feasible) << "n=" << n << " k=" << k;
+      EXPECT_NEAR(result.objective, static_cast<double>(k), 1e-7)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(LpExact, CycleOptimumIsNThirds) {
+  // C_n is vertex-transitive with closed neighborhoods of size 3:
+  // OPT_f = n/3 for k=1.
+  for (NodeId n : {3, 6, 9, 12}) {
+    const Graph g = graph::cycle(n);
+    const auto result = solve_lp_exact(g, uniform_demands(n, 1));
+    ASSERT_TRUE(result.feasible);
+    EXPECT_NEAR(result.objective, static_cast<double>(n) / 3.0, 1e-7)
+        << "n=" << n;
+  }
+}
+
+TEST(LpExact, StarOptimum) {
+  // Star K_{1,m}: x_center = 1 covers everyone once; OPT_f = 1 for k=1.
+  const Graph g = graph::star(8);
+  const auto result = solve_lp_exact(g, uniform_demands(8, 1));
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.objective, 1.0, 1e-7);
+}
+
+TEST(LpExact, InfeasibleDetected) {
+  const Graph g = graph::path(3);
+  const auto result = solve_lp_exact(g, uniform_demands(3, 4));
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(LpExact, SolutionIsPrimalFeasible) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gnp(40, 0.12, rng);
+    for (std::int32_t k : {1, 2, 3}) {
+      const auto d = clamp_demands(g, uniform_demands(40, k));
+      const auto result = solve_lp_exact(g, d);
+      ASSERT_TRUE(result.feasible) << "trial " << trial;
+      FractionalSolution x;
+      x.x = result.x;
+      EXPECT_TRUE(primal_feasible(g, x, d, 1e-6))
+          << "trial " << trial << " k " << k;
+      EXPECT_NEAR(x.objective(), result.objective, 1e-6);
+    }
+  }
+}
+
+TEST(LpExact, BracketedByBoundsAndIntegerOptimum) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gnp(16, 0.25, rng);
+    const auto d = clamp_demands(g, uniform_demands(16, 2));
+    const auto lp = solve_lp_exact(g, d);
+    ASSERT_TRUE(lp.feasible);
+    // OPT_f <= OPT_int.
+    const auto ilp = algo::exact_kmds(g, d);
+    ASSERT_TRUE(ilp.optimal);
+    EXPECT_LE(lp.objective, static_cast<double>(ilp.set.size()) + 1e-7);
+    // OPT_f >= packing bound... careful: the packing bound Σk/(Δ+1) is a
+    // valid fractional bound without the ceiling.
+    const double packing =
+        static_cast<double>(16 * 2) / (g.max_degree() + 1);
+    EXPECT_GE(lp.objective, packing - 1e-7);
+  }
+}
+
+TEST(LpExact, Algorithm1NeverBeatsOptimum) {
+  // Algorithm 1's fractional objective must be >= OPT_f, and its scaled
+  // dual objective must be <= OPT_f (weak duality) — the LP solver sits
+  // exactly between the two halves of the paper's analysis.
+  util::Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = graph::gnp(35, 0.15, rng);
+    const auto d = clamp_demands(g, uniform_demands(35, 2));
+    const auto opt = solve_lp_exact(g, d);
+    ASSERT_TRUE(opt.feasible);
+    for (int t : {1, 3}) {
+      algo::LpOptions opts;
+      opts.t = t;
+      const auto alg1 = algo::solve_fractional_kmds(g, d, opts);
+      EXPECT_GE(alg1.primal.objective(), opt.objective - 1e-6)
+          << "trial " << trial << " t " << t;
+      EXPECT_LE(alg1.dual_bound(d), opt.objective + 1e-6)
+          << "trial " << trial << " t " << t;
+      // And the true ratio respects Theorem 4.5.
+      EXPECT_LE(alg1.primal.objective(),
+                algo::theorem45_bound(t, g.max_degree()) * opt.objective +
+                    1e-6);
+    }
+  }
+}
+
+TEST(LpExact, PerNodeDemands) {
+  const Graph g = graph::star(5);
+  Demands d{3, 1, 1, 1, 1};
+  const auto result = solve_lp_exact(g, d);
+  ASSERT_TRUE(result.feasible);
+  // Center needs 3 from its closed neighborhood of 5; leaves need 1 each,
+  // satisfiable by x_center = 1 plus 2 units spread over leaves.
+  EXPECT_NEAR(result.objective, 3.0, 1e-7);
+}
+
+TEST(LpExact, FractionalBeatsIntegralOnCycle) {
+  // C_4, k=1: integral optimum is 2, fractional is 4/3.
+  const Graph g = graph::cycle(4);
+  const auto lp = solve_lp_exact(g, uniform_demands(4, 1));
+  const auto ilp = algo::exact_kmds(g, uniform_demands(4, 1));
+  ASSERT_TRUE(lp.feasible && ilp.optimal);
+  EXPECT_NEAR(lp.objective, 4.0 / 3.0, 1e-7);
+  EXPECT_EQ(ilp.set.size(), 2u);
+}
+
+class LpExactSweep
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, int>> {};
+
+TEST_P(LpExactSweep, OptimalityCertificates) {
+  const auto [k, trial] = GetParam();
+  util::Rng rng(4000 + static_cast<std::uint64_t>(trial));
+  const Graph g = graph::gnp(25, 0.2, rng);
+  const auto d = clamp_demands(g, uniform_demands(25, k));
+  const auto result = solve_lp_exact(g, d);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_FALSE(result.iteration_limit_hit);
+  FractionalSolution x;
+  x.x = result.x;
+  EXPECT_TRUE(primal_feasible(g, x, d, 1e-6));
+  // No integral solution can be cheaper.
+  const auto ilp = algo::exact_kmds(g, d);
+  ASSERT_TRUE(ilp.optimal);
+  EXPECT_LE(result.objective, static_cast<double>(ilp.set.size()) + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LpExactSweep,
+    ::testing::Combine(::testing::Values<std::int32_t>(1, 2, 3),
+                       ::testing::Range(0, 5)));
+
+}  // namespace
+}  // namespace ftc::domination

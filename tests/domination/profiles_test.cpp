@@ -1,0 +1,90 @@
+#include "domination/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/baseline/greedy.h"
+#include "algo/pipeline.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::domination {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(Profiles, UniformClamps) {
+  const Graph g = graph::path(4);  // degrees 1,2,2,1
+  const Demands d = profile_uniform(g, 5);
+  EXPECT_EQ(d, (Demands{2, 3, 3, 2}));
+  EXPECT_TRUE(instance_feasible(g, d));
+}
+
+TEST(Profiles, RandomStaysInRangeAndFeasible) {
+  util::Rng rng(1);
+  const Graph g = graph::gnp(60, 0.15, rng);
+  const Demands d = profile_random(g, 2, 4, rng);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto k = d[static_cast<std::size_t>(v)];
+    EXPECT_GE(k, std::min<std::int32_t>(2, g.degree(v) + 1));
+    EXPECT_LE(k, 4);
+  }
+  EXPECT_TRUE(instance_feasible(g, d));
+}
+
+TEST(Profiles, DegreeProportionalScalesWithDegree) {
+  const Graph g = graph::star(9);  // hub degree 8, leaves 1
+  const Demands d = profile_degree_proportional(g, 0.5);
+  EXPECT_EQ(d[0], 4);  // round(0.5 * 8)
+  for (std::size_t v = 1; v < 9; ++v) EXPECT_EQ(d[v], 1);
+  EXPECT_TRUE(instance_feasible(g, d));
+}
+
+TEST(Profiles, CriticalNodes) {
+  util::Rng rng(2);
+  const Graph g = graph::gnp(40, 0.3, rng);
+  const std::vector<NodeId> critical{3, 7};
+  const Demands d = profile_critical_nodes(g, critical, 4, 1);
+  EXPECT_EQ(d[3], std::min<std::int32_t>(4, g.degree(3) + 1));
+  EXPECT_EQ(d[0], 1);
+  EXPECT_TRUE(instance_feasible(g, d));
+}
+
+TEST(Profiles, BorderDemandsMore) {
+  util::Rng rng(3);
+  const auto udg = geom::uniform_udg_with_degree(300, 12.0, rng);
+  const Demands d = profile_border(udg, 1.0, 3, 1);
+  // There must be both border and interior nodes at this size.
+  bool saw_border = false, saw_interior = false;
+  for (std::int32_t k : d) {
+    if (k >= 2) saw_border = true;   // clamped 3 is still >= 2 for deg >= 1
+    if (k == 1) saw_interior = true;
+  }
+  EXPECT_TRUE(saw_border);
+  EXPECT_TRUE(saw_interior);
+  EXPECT_TRUE(instance_feasible(udg.graph, d));
+}
+
+TEST(Profiles, HeterogeneousDemandsSolveEndToEnd) {
+  util::Rng rng(4);
+  const Graph g = graph::gnp(80, 0.1, rng);
+  const Demands d = profile_degree_proportional(g, 0.3);
+  const auto greedy = algo::greedy_kmds(g, d);
+  EXPECT_TRUE(greedy.fully_satisfied);
+  EXPECT_TRUE(is_k_dominating(g, greedy.set, d));
+}
+
+
+TEST(Profiles, FullPipelineHonorsHeterogeneousDemands) {
+  util::Rng rng(5);
+  const auto udg = geom::uniform_udg_with_degree(200, 14.0, rng);
+  const Demands d = profile_border(udg, 1.5, 3, 1);
+  ftc::algo::PipelineOptions opts;
+  opts.t = 3;
+  opts.seed = 5;
+  const auto pipe = ftc::algo::run_kmds_pipeline(udg.graph, d, opts);
+  EXPECT_TRUE(is_k_dominating(udg.graph, pipe.set(), d));
+}
+
+}  // namespace
+}  // namespace ftc::domination

@@ -1,0 +1,88 @@
+#include "geom/cover.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace ftc::geom {
+namespace {
+
+TEST(Cover, EtaConstant) {
+  EXPECT_NEAR(lemma53_eta(), 16.0 * std::numbers::pi / (3.0 * std::sqrt(3.0)),
+              1e-12);
+}
+
+TEST(Cover, Figure1Nineteen) {
+  // The paper's Figure 1: D_i (radius 3·θ_i/2) fully or partially covers
+  // exactly 19 lattice disks C_i (radius θ_i/2).
+  EXPECT_EQ(disks_intersecting_big_disk(), 19u);
+}
+
+TEST(Cover, CoveringIsComplete) {
+  for (double r : {0.05, 0.1, 0.25}) {
+    EXPECT_TRUE(covering_is_complete({0, 0}, 0.5, r, r / 4.0))
+        << "disk radius " << r;
+  }
+}
+
+TEST(Cover, CoveringCompleteOffCenter) {
+  EXPECT_TRUE(covering_is_complete({3.7, -1.2}, 0.5, 0.1, 0.02));
+}
+
+TEST(Cover, MeasuredAlphaBelowLemmaBoundSmallTheta) {
+  // Lemma 5.3's bound holds (with margin) for the small θ of early rounds.
+  for (double disk_radius : {0.01, 0.02, 0.05}) {
+    const double measured = static_cast<double>(
+        measured_alpha(0.5, disk_radius));
+    EXPECT_LT(measured, lemma53_bound(disk_radius))
+        << "disk radius " << disk_radius;
+  }
+}
+
+TEST(Cover, AlphaScalesInverseSquare) {
+  // α ~ c/r²: quadrupling when the radius halves (within boundary slack).
+  const auto a1 = static_cast<double>(measured_alpha(0.5, 0.04));
+  const auto a2 = static_cast<double>(measured_alpha(0.5, 0.02));
+  EXPECT_GT(a2 / a1, 3.0);
+  EXPECT_LT(a2 / a1, 5.0);
+}
+
+TEST(Cover, CentersIntersectRegion) {
+  const auto centers = hex_cover_centers({0, 0}, 1.0, 0.2);
+  for (const Point& c : centers) {
+    EXPECT_LT(norm(c), 1.0 + 0.2);
+  }
+}
+
+TEST(Cover, DensityNearKershnerLimit) {
+  // The covering density (disk area × count / region area) for a fine
+  // lattice should approach 2π/(3√3) ≈ 1.209 (Kershner's bound), modulo
+  // boundary effects that inflate it slightly.
+  const double r = 0.01;
+  const double count = static_cast<double>(measured_alpha(1.0, r));
+  const double density = count * r * r / 1.0;  // (πr²·count)/(π·R²)
+  EXPECT_GT(density, 1.15);
+  EXPECT_LT(density, 1.35);
+}
+
+TEST(CountPointsPerDisk, CountsCorrectly) {
+  const std::vector<Point> points{{0, 0}, {0.1, 0}, {1, 1}, {5, 5}};
+  const std::vector<graph::NodeId> subset{0, 1, 2, 3};
+  const std::vector<Point> centers{{0, 0}, {5, 5}};
+  const auto counts = count_points_per_disk(points, subset, centers, 0.5);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);  // (0,0) and (0.1,0)
+  EXPECT_EQ(counts[1], 1u);  // (5,5)
+}
+
+TEST(CountPointsPerDisk, SubsetFilters) {
+  const std::vector<Point> points{{0, 0}, {0.1, 0}};
+  const std::vector<graph::NodeId> subset{1};
+  const std::vector<Point> centers{{0, 0}};
+  const auto counts = count_points_per_disk(points, subset, centers, 0.5);
+  EXPECT_EQ(counts[0], 1u);
+}
+
+}  // namespace
+}  // namespace ftc::geom

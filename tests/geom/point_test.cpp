@@ -1,0 +1,43 @@
+#include "geom/point.h"
+
+#include <gtest/gtest.h>
+
+namespace ftc::geom {
+namespace {
+
+TEST(Point, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(dist({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(dist({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(dist_sq({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Point, DistanceSymmetric) {
+  const Point a{1.5, -2.5};
+  const Point b{-3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dist(a, b), dist(b, a));
+}
+
+TEST(Point, TriangleInequality) {
+  const Point a{0, 0}, b{1, 2}, c{3, 1};
+  EXPECT_LE(dist(a, c), dist(a, b) + dist(b, c) + 1e-12);
+}
+
+TEST(Point, Norm) {
+  EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm({0, 0}), 0.0);
+}
+
+TEST(Point, Arithmetic) {
+  const Point a{1, 2}, b{3, 5};
+  EXPECT_EQ(a + b, (Point{4, 7}));
+  EXPECT_EQ(b - a, (Point{2, 3}));
+  EXPECT_EQ(a * 2.0, (Point{2, 4}));
+}
+
+TEST(Point, Equality) {
+  EXPECT_EQ((Point{1, 2}), (Point{1, 2}));
+  EXPECT_NE((Point{1, 2}), (Point{2, 1}));
+}
+
+}  // namespace
+}  // namespace ftc::geom

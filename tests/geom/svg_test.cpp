@@ -1,0 +1,94 @@
+#include "geom/svg.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace ftc::geom {
+namespace {
+
+UnitDiskGraph tiny_udg() {
+  return build_udg({{0.0, 0.0}, {0.5, 0.0}, {0.5, 0.5}, {3.0, 3.0}}, 1.0);
+}
+
+TEST(Svg, WellFormedEnvelope) {
+  const auto udg = tiny_udg();
+  const std::string svg = svg_string(udg, {});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One circle per node.
+  std::size_t circles = 0, pos = 0;
+  while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    ++pos;
+  }
+  EXPECT_EQ(circles, 4u);
+}
+
+TEST(Svg, EdgesDrawnWhenEnabled) {
+  const auto udg = tiny_udg();
+  const std::string with_edges = svg_string(udg, {});
+  EXPECT_NE(with_edges.find("<line"), std::string::npos);
+  SvgOptions options;
+  options.draw_edges = false;
+  const std::string without = svg_string(udg, {}, options);
+  EXPECT_EQ(without.find("<line"), std::string::npos);
+}
+
+TEST(Svg, LayersRenderWithColorAndLegend) {
+  const auto udg = tiny_udg();
+  SvgLayer layer;
+  layer.nodes = {0, 2};
+  layer.color = "#ff0000";
+  layer.label = "backbone";
+  const std::vector<SvgLayer> layers{layer};
+  const std::string svg = svg_string(udg, layers);
+  EXPECT_NE(svg.find("#ff0000"), std::string::npos);
+  EXPECT_NE(svg.find(">backbone</text>"), std::string::npos);
+}
+
+TEST(Svg, CoordinatesStayOnCanvas) {
+  util::Rng rng(1);
+  const auto udg = build_udg(uniform_points(100, 7.0, rng), 1.0);
+  const std::string svg = svg_string(udg, {});
+  // Parse all cx values and check bounds.
+  std::istringstream lines(svg);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto pos = line.find("cx=\"");
+    if (pos == std::string::npos) continue;
+    const double cx = std::stod(line.substr(pos + 4));
+    EXPECT_GE(cx, 0.0);
+    EXPECT_LE(cx, 800.0);
+  }
+}
+
+TEST(Svg, SaveAndReload) {
+  const std::string path = ::testing::TempDir() + "/ftc_svg_test.svg";
+  const auto udg = tiny_udg();
+  save_svg(path, udg, {});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("<svg", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Svg, SaveToBadPathThrows) {
+  EXPECT_THROW(save_svg("/nonexistent_zzz/x.svg", tiny_udg(), {}),
+               std::runtime_error);
+}
+
+TEST(Svg, EmptyDeployment) {
+  UnitDiskGraph udg;
+  const std::string svg = svg_string(udg, {});
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftc::geom

@@ -1,0 +1,176 @@
+// Fault-tolerance integration tests — the paper's motivation (Section 1):
+// k-fold dominating sets keep nodes covered when dominators crash.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algo/lp/lp_kmds.h"
+#include "algo/lp/lp_kmds_process.h"
+#include "algo/pipeline.h"
+#include "algo/udg/udg_kmds.h"
+#include "domination/domination.h"
+#include "geom/udg.h"
+#include "graph/generators.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace ftc::algo {
+namespace {
+
+using domination::clamp_demands;
+using domination::uniform_demands;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(FaultTolerance, KFoldSurvivesUpToKMinusOneDominatorFailures) {
+  // Deterministic core property: remove any k-1 dominators from a k-fold
+  // dominating set; every non-member node remains covered at least once.
+  util::Rng rng(1);
+  const Graph g = graph::gnp(70, 0.12, rng);
+  const std::int32_t k = 4;
+  const auto d = clamp_demands(g, uniform_demands(70, k));
+  PipelineOptions opts;
+  opts.t = 3;
+  const auto result = run_kmds_pipeline(g, d, opts);
+  ASSERT_TRUE(domination::is_k_dominating(g, result.set(), d));
+
+  // Kill the first k-1 dominators.
+  const auto& set = result.set();
+  ASSERT_GE(set.size(), static_cast<std::size_t>(k));
+  std::vector<NodeId> survivors(set.begin() + (k - 1), set.end());
+
+  // Every node whose demand was >= k and who is not itself a failed
+  // dominator still has >= 1 live dominator in its closed neighborhood.
+  const auto members = domination::to_membership(g, survivors);
+  const auto cover = domination::closed_coverage_counts(g, members);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    bool failed_dominator = false;
+    for (std::size_t f = 0; f < static_cast<std::size_t>(k - 1); ++f) {
+      if (set[f] == v) failed_dominator = true;
+    }
+    if (failed_dominator || d[i] < k) continue;
+    EXPECT_GE(cover[i], 1) << "node " << v << " lost all dominators";
+  }
+}
+
+TEST(FaultTolerance, HigherKRetainsMoreCoverageUnderRandomCrashes) {
+  util::Rng rng(2);
+  const geom::UnitDiskGraph udg = geom::uniform_udg_with_degree(500, 15.0, rng);
+  const double crash_prob = 0.4;
+
+  auto surviving_coverage_fraction = [&](std::int32_t k) {
+    UdgOptions opts;
+    opts.k = k;
+    const auto result = solve_udg_kmds(udg, opts, 99);
+    // Crash each dominator independently.
+    util::Rng crash_rng(1234);
+    std::vector<NodeId> alive;
+    for (NodeId v : result.leaders) {
+      if (!crash_rng.bernoulli(crash_prob)) alive.push_back(v);
+    }
+    const auto members = domination::to_membership(udg.graph, alive);
+    const auto cover = domination::closed_coverage_counts(udg.graph, members);
+    const auto all_members = domination::to_membership(udg.graph, result.leaders);
+    std::int64_t covered = 0, total = 0;
+    for (NodeId v = 0; v < udg.n(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (all_members[i]) continue;  // only non-members need coverage
+      ++total;
+      if (cover[i] >= 1) ++covered;
+    }
+    return total == 0 ? 1.0
+                      : static_cast<double>(covered) /
+                            static_cast<double>(total);
+  };
+
+  const double f1 = surviving_coverage_fraction(1);
+  const double f4 = surviving_coverage_fraction(4);
+  EXPECT_GT(f4, f1);
+  EXPECT_GT(f4, 0.95);  // (1-0.4^4) ≈ 0.974 expected
+}
+
+TEST(FaultTolerance, LpProcessSurvivesMidRunCrashes) {
+  // Algorithm 1 keeps running when nodes crash mid-execution; surviving
+  // nodes still produce a solution covering the surviving subgraph.
+  util::Rng rng(3);
+  const Graph g = graph::gnp(40, 0.15, rng);
+  const std::int32_t k = 2;
+  const auto d = clamp_demands(g, uniform_demands(40, k));
+  const int t = 3;
+
+  sim::SyncNetwork net(g, 5);
+  net.set_all_processes([&](NodeId v) {
+    return std::make_unique<LpKmdsProcess>(
+        d[static_cast<std::size_t>(v)], t);
+  });
+  net.schedule_crash(3, 4);
+  net.schedule_crash(17, 7);
+  net.run(lp_round_count(t) + 8);
+
+  // Survivors halted normally.
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (net.crashed(v)) continue;
+    EXPECT_TRUE(net.process_as<LpKmdsProcess>(v).halted()) << "node " << v;
+  }
+
+  // Every survivor whose demand is still satisfiable among survivors ends
+  // covered: a node that grayed before the crash keeps its accumulated
+  // coverage (x-values never decrease, so crashed nodes' frozen x still
+  // witnesses it), and a node still white at the end forces its live closed
+  // neighborhood to x = 1 in the final iteration.
+  const Graph live = g.without_nodes(std::vector<NodeId>{3, 17});
+  domination::FractionalSolution x;
+  x.x.assign(static_cast<std::size_t>(g.n()), 0.0);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    // Crashed processes retain their state frozen at crash time.
+    x.x[static_cast<std::size_t>(v)] = net.process_as<LpKmdsProcess>(v).x();
+  }
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (net.crashed(v)) continue;
+    const auto i = static_cast<std::size_t>(v);
+    if (d[i] > live.degree(v) + 1) continue;  // no longer satisfiable
+    EXPECT_GE(domination::closed_neighborhood_sum(g, v, x.x),
+              static_cast<double>(d[i]) - 1e-6)
+        << "surviving node " << v << " undercovered";
+  }
+}
+
+TEST(FaultTolerance, CrashBeforeStartEqualsRemovedNode) {
+  // Crashing a node at round 0 must yield the same solution as running on
+  // the graph with that node removed (survivors cannot tell the difference).
+  util::Rng rng(4);
+  const Graph g = graph::gnp(30, 0.2, rng);
+  const auto d = clamp_demands(g, uniform_demands(30, 2));
+  const NodeId dead = 7;
+  const int t = 2;
+
+  sim::SyncNetwork crashed_net(g, 11);
+  crashed_net.set_all_processes([&](NodeId v) {
+    return std::make_unique<LpKmdsProcess>(
+        d[static_cast<std::size_t>(v)], t);
+  });
+  crashed_net.crash(dead);
+  crashed_net.run(lp_round_count(t) + 4);
+
+  const Graph reduced = g.without_nodes(std::vector<NodeId>{dead});
+  sim::SyncNetwork reduced_net(reduced, 11);
+  reduced_net.set_all_processes([&](NodeId v) {
+    return std::make_unique<LpKmdsProcess>(
+        d[static_cast<std::size_t>(v)], t);
+  });
+  reduced_net.run(lp_round_count(t) + 4);
+
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (v == dead) continue;
+    // Δ differs between the two graphs only if `dead` was the unique max-
+    // degree node; skip the comparison in that case.
+    if (g.max_degree() != reduced.max_degree()) break;
+    EXPECT_DOUBLE_EQ(crashed_net.process_as<LpKmdsProcess>(v).x(),
+                     reduced_net.process_as<LpKmdsProcess>(v).x())
+        << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace ftc::algo

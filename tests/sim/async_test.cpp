@@ -1,0 +1,260 @@
+// Tests for the asynchronous executor (α-synchronizer), including the key
+// transfer theorem the paper invokes from Awerbuch: a synchronous algorithm
+// run through the synchronizer computes the same result under arbitrary
+// bounded message delays.
+#include "sim/async.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "algo/lp/lp_kmds.h"
+#include "algo/lp/lp_kmds_process.h"
+#include "algo/rounding/rounding.h"
+#include "algo/rounding/rounding_process.h"
+#include "algo/udg/udg_kmds.h"
+#include "algo/udg/udg_kmds_process.h"
+#include "algo/baseline/lrg.h"
+#include "algo/baseline/lrg_process.h"
+#include "algo/baseline/luby.h"
+#include "algo/baseline/luby_process.h"
+#include "domination/domination.h"
+#include "geom/udg.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::sim {
+namespace {
+
+using graph::NodeId;
+
+/// Broadcasts a counter for `rounds` rounds; records the sum of everything
+/// received per round — a strict lockstep detector: in round r every
+/// neighbor's payload must carry exactly r-1.
+class LockstepProbe final : public Process {
+ public:
+  explicit LockstepProbe(std::int64_t rounds) : rounds_(rounds) {}
+
+  void on_round(Context& ctx) override {
+    for (const Message& msg : ctx.inbox()) {
+      EXPECT_EQ(msg.words.at(0), ctx.round() - 1)
+          << "node " << ctx.self() << " heard a stale/early message";
+      ++heard_;
+    }
+    ctx.broadcast({static_cast<Word>(ctx.round())});
+    if (ctx.round() + 1 >= rounds_) halt();
+  }
+
+  std::int64_t heard_ = 0;
+
+ private:
+  std::int64_t rounds_;
+};
+
+TEST(AsyncNetwork, PreservesLockstepSemantics) {
+  util::Rng rng(1);
+  const graph::Graph g = graph::gnp(40, 0.15, rng);
+  AsyncOptions opts;
+  opts.max_delay = 13;  // heavy reordering
+  AsyncNetwork net(g, 7, opts);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<LockstepProbe>(6); });
+  const auto pulses = net.run(100);
+  EXPECT_EQ(pulses, 6);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    // 5 rounds of hearing deg messages each (round 0 hears nothing).
+    EXPECT_EQ(net.process_as<LockstepProbe>(v).heard_, 5 * g.degree(v));
+  }
+}
+
+TEST(AsyncNetwork, IsolatedNodesRunToCompletion) {
+  const graph::Graph g = graph::empty(3);
+  AsyncNetwork net(g, 1);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<LockstepProbe>(4); });
+  EXPECT_EQ(net.run(100), 4);
+}
+
+TEST(AsyncNetwork, VirtualTimeScalesWithDelay) {
+  util::Rng rng(2);
+  const graph::Graph g = graph::gnp(30, 0.2, rng);
+  auto run_with = [&](std::int64_t max_delay) {
+    AsyncOptions opts;
+    opts.max_delay = max_delay;
+    AsyncNetwork net(g, 3, opts);
+    net.set_all_processes(
+        [](NodeId) { return std::make_unique<LockstepProbe>(8); });
+    net.run(100);
+    return net.metrics().virtual_time;
+  };
+  const auto fast = run_with(1);
+  const auto slow = run_with(16);
+  EXPECT_EQ(fast, 8);  // unit delays: exactly one time unit per pulse
+  EXPECT_GT(slow, fast);
+  EXPECT_LE(slow, 8 * 16);
+}
+
+TEST(AsyncNetwork, EnvelopeOverheadIsPerEdgePerPulse) {
+  const graph::Graph g = graph::cycle(10);
+  AsyncNetwork net(g, 1);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<LockstepProbe>(5); });
+  net.run(100);
+  // Every pulse sends exactly one envelope per edge direction (payloads),
+  // plus one extra halt marker per direction in the final pulse.
+  EXPECT_EQ(net.metrics().envelopes_sent, 5 * 20 + 20);
+  EXPECT_EQ(net.metrics().payload_messages, 5 * 20);
+}
+
+// ---- Sync/async equivalence for the paper's algorithms ----
+
+class AsyncEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsyncEquivalence, LpProcessSameResultUnderDelays) {
+  const int max_delay = GetParam();
+  util::Rng rng(10);
+  const graph::Graph g = graph::gnp(30, 0.15, rng);
+  const auto d = domination::clamp_demands(
+      g, domination::uniform_demands(g.n(), 2));
+  const int t = 2;
+
+  SyncNetwork sync_net(g, 42);
+  sync_net.set_all_processes([&](NodeId v) {
+    return std::make_unique<algo::LpKmdsProcess>(
+        d[static_cast<std::size_t>(v)], t);
+  });
+  sync_net.run(algo::lp_round_count(t) + 4);
+
+  AsyncOptions opts;
+  opts.max_delay = max_delay;
+  AsyncNetwork async_net(g, 42, opts);
+  async_net.set_all_processes([&](NodeId v) {
+    return std::make_unique<algo::LpKmdsProcess>(
+        d[static_cast<std::size_t>(v)], t);
+  });
+  async_net.run(algo::lp_round_count(t) + 4);
+
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_DOUBLE_EQ(async_net.process_as<algo::LpKmdsProcess>(v).x(),
+                     sync_net.process_as<algo::LpKmdsProcess>(v).x())
+        << "node " << v << " max_delay " << max_delay;
+    EXPECT_DOUBLE_EQ(async_net.process_as<algo::LpKmdsProcess>(v).z(),
+                     sync_net.process_as<algo::LpKmdsProcess>(v).z())
+        << "node " << v;
+  }
+}
+
+TEST_P(AsyncEquivalence, RoundingProcessSameResultUnderDelays) {
+  const int max_delay = GetParam();
+  util::Rng rng(11);
+  const graph::Graph g = graph::gnp(40, 0.12, rng);
+  const auto d = domination::clamp_demands(
+      g, domination::uniform_demands(g.n(), 2));
+  algo::LpOptions lp_opts;
+  const auto lp = algo::solve_fractional_kmds(g, d, lp_opts);
+
+  const auto mirror = algo::round_fractional(g, lp.primal, d, 42);
+
+  AsyncOptions opts;
+  opts.max_delay = max_delay;
+  AsyncNetwork net(g, 42, opts);
+  net.set_all_processes([&](NodeId v) {
+    const auto i = static_cast<std::size_t>(v);
+    return std::make_unique<algo::RoundingProcess>(lp.primal.x[i], d[i]);
+  });
+  net.run(10);
+
+  std::vector<NodeId> async_set;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (net.process_as<algo::RoundingProcess>(v).in_set()) {
+      async_set.push_back(v);
+    }
+  }
+  EXPECT_EQ(async_set, mirror.set);
+}
+
+TEST_P(AsyncEquivalence, UdgProcessSameResultUnderDelays) {
+  const int max_delay = GetParam();
+  util::Rng rng(12);
+  const auto udg = geom::uniform_udg_with_degree(120, 10.0, rng);
+  const std::int32_t k = 2;
+
+  algo::UdgOptions uopts;
+  uopts.k = k;
+  const auto mirror = algo::solve_udg_kmds(udg, uopts, 77);
+
+  AsyncOptions opts;
+  opts.max_delay = max_delay;
+  AsyncNetwork net(udg, 77, opts);
+  net.set_all_processes(
+      [&](NodeId) { return std::make_unique<algo::UdgKmdsProcess>(k); });
+  net.run(2 * algo::udg_part1_rounds(udg.n()) + 3 * (udg.n() + 3));
+
+  std::vector<NodeId> async_leaders;
+  for (NodeId v = 0; v < udg.n(); ++v) {
+    auto& p = net.process_as<algo::UdgKmdsProcess>(v);
+    EXPECT_TRUE(p.halted()) << "node " << v;
+    if (p.leader()) async_leaders.push_back(v);
+  }
+  EXPECT_EQ(async_leaders, mirror.leaders);
+}
+
+
+TEST_P(AsyncEquivalence, LubyProcessSameResultUnderDelays) {
+  const int max_delay = GetParam();
+  util::Rng rng(13);
+  const graph::Graph g = graph::gnp(40, 0.12, rng);
+  const std::int32_t k = 2;
+
+  const auto mirror = algo::luby_mis_kfold(g, k, 55);
+
+  AsyncOptions opts;
+  opts.max_delay = max_delay;
+  AsyncNetwork net(g, 55, opts);
+  net.set_all_processes(
+      [&](NodeId) { return std::make_unique<algo::LubyMisProcess>(k); });
+  net.run(mirror.rounds + 4);
+
+  std::vector<NodeId> async_set;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (net.process_as<algo::LubyMisProcess>(v).selected()) {
+      async_set.push_back(v);
+    }
+  }
+  EXPECT_EQ(async_set, mirror.set);
+}
+
+TEST_P(AsyncEquivalence, LrgProcessSameResultUnderDelays) {
+  const int max_delay = GetParam();
+  util::Rng rng(14);
+  const graph::Graph g = graph::gnp(40, 0.12, rng);
+  const auto d = domination::clamp_demands(
+      g, domination::uniform_demands(g.n(), 2));
+
+  const auto mirror = algo::lrg_kmds(g, d, 66);
+
+  AsyncOptions opts;
+  opts.max_delay = max_delay;
+  AsyncNetwork net(g, 66, opts);
+  net.set_all_processes([&](NodeId v) {
+    return std::make_unique<algo::LrgProcess>(
+        d[static_cast<std::size_t>(v)]);
+  });
+  net.run(algo::kLrgRoundsPerIteration *
+          (algo::lrg_max_iterations(g.n(), g.max_degree()) + 2));
+
+  std::vector<NodeId> async_set;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (net.process_as<algo::LrgProcess>(v).selected()) {
+      async_set.push_back(v);
+    }
+  }
+  EXPECT_EQ(async_set, mirror.set);
+}
+
+INSTANTIATE_TEST_SUITE_P(DelaySweep, AsyncEquivalence,
+                         ::testing::Values(1, 3, 9, 25));
+
+}  // namespace
+}  // namespace ftc::sim

@@ -1,0 +1,47 @@
+#include "sim/message.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftc::sim {
+namespace {
+
+TEST(FixedPoint, RoundTripExactForRepresentable) {
+  for (double v : {0.0, 0.5, 0.25, 1.0, 123.0, 0.0009765625}) {
+    EXPECT_DOUBLE_EQ(decode_fixed(encode_fixed(v)), v);
+  }
+}
+
+TEST(FixedPoint, QuantizationErrorBounded) {
+  for (double v : {0.1, 0.3333333333, 0.7182818, 1e-7, 0.9999999}) {
+    const double err = std::abs(decode_fixed(encode_fixed(v)) - v);
+    EXPECT_LE(err, 0.5 / kFixedPointScale);
+  }
+}
+
+TEST(FixedPoint, NegativeValues) {
+  EXPECT_DOUBLE_EQ(decode_fixed(encode_fixed(-0.5)), -0.5);
+  const double err = std::abs(decode_fixed(encode_fixed(-0.123)) + 0.123);
+  EXPECT_LE(err, 0.5 / kFixedPointScale);
+}
+
+TEST(FixedPoint, MonotoneNonDecreasing) {
+  double prev = decode_fixed(encode_fixed(0.0));
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = static_cast<double>(i) / 1000.0;
+    const double dq = decode_fixed(encode_fixed(v));
+    EXPECT_GE(dq, prev);
+    prev = dq;
+  }
+}
+
+TEST(FixedPoint, IdempotentQuantization) {
+  for (double v : {0.1, 0.77, 3.14159}) {
+    const double once = decode_fixed(encode_fixed(v));
+    EXPECT_DOUBLE_EQ(decode_fixed(encode_fixed(once)), once);
+  }
+}
+
+}  // namespace
+}  // namespace ftc::sim

@@ -1,0 +1,98 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftc::util {
+namespace {
+
+Args make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, ParsesKeyValue) {
+  const Args args = make_args({"--n=100", "--ratio=1.5"});
+  EXPECT_EQ(args.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 1.5);
+}
+
+TEST(Args, FlagWithoutValueIsTruthy) {
+  const Args args = make_args({"--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(Args, MissingKeyReturnsFallback) {
+  const Args args = make_args({});
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_EQ(args.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(args.get("nothing").has_value());
+}
+
+TEST(Args, PositionalArgumentsCollected) {
+  const Args args = make_args({"file1", "--k=2", "file2"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(Args, BadIntegerThrows) {
+  const Args args = make_args({"--n=abc"});
+  EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Args, BadDoubleThrows) {
+  const Args args = make_args({"--x=oops"});
+  EXPECT_THROW((void)args.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(Args, BoolSpellings) {
+  EXPECT_TRUE(make_args({"--f=true"}).get_bool("f", false));
+  EXPECT_TRUE(make_args({"--f=yes"}).get_bool("f", false));
+  EXPECT_TRUE(make_args({"--f=on"}).get_bool("f", false));
+  EXPECT_FALSE(make_args({"--f=false"}).get_bool("f", true));
+  EXPECT_FALSE(make_args({"--f=0"}).get_bool("f", true));
+  EXPECT_THROW((void)make_args({"--f=maybe"}).get_bool("f", true),
+               std::invalid_argument);
+}
+
+TEST(Args, U64Parses) {
+  const Args args = make_args({"--seed=18446744073709551615"});
+  EXPECT_EQ(args.get_u64("seed", 0), ~std::uint64_t{0});
+}
+
+TEST(Args, IntListParses) {
+  const Args args = make_args({"--ks=1,2,5,10"});
+  EXPECT_EQ(args.get_int_list("ks", {}),
+            (std::vector<long long>{1, 2, 5, 10}));
+}
+
+TEST(Args, IntListFallback) {
+  const Args args = make_args({});
+  EXPECT_EQ(args.get_int_list("ks", {3}), (std::vector<long long>{3}));
+}
+
+TEST(Args, IntListBadElementThrows) {
+  const Args args = make_args({"--ks=1,x,3"});
+  EXPECT_THROW((void)args.get_int_list("ks", {}), std::invalid_argument);
+}
+
+TEST(Args, LastDuplicateWins) {
+  const Args args = make_args({"--n=1", "--n=2"});
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+TEST(Args, ValueWithEquals) {
+  const Args args = make_args({"--expr=a=b"});
+  EXPECT_EQ(args.get_string("expr", ""), "a=b");
+}
+
+TEST(Args, ProgramName) {
+  const Args args = make_args({});
+  EXPECT_EQ(args.program(), "prog");
+}
+
+}  // namespace
+}  // namespace ftc::util

@@ -1,0 +1,72 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ftc::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/ftc_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST(CsvEscape, PlainCellUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, CommaTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesAreDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineTriggersQuoting) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"n", "ratio"});
+    w.write_row({"10", "1.5"});
+    w.write_row({"20", "1.7"});
+  }
+  EXPECT_EQ(read_file(path_), "n,ratio\n10,1.5\n20,1.7\n");
+}
+
+TEST_F(CsvWriterTest, EscapesCells) {
+  {
+    CsvWriter w(path_, {"text"});
+    w.write_row({"a,b"});
+  }
+  EXPECT_EQ(read_file(path_), "text\n\"a,b\"\n");
+}
+
+TEST(CsvWriter, DefaultConstructedIsNotOpen) {
+  CsvWriter w;
+  EXPECT_FALSE(w.is_open());
+  w.write_row({"ignored"});  // must not crash
+}
+
+TEST(CsvWriter, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zzz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ftc::util
