@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_quantization.dir/bench_a1_quantization.cpp.o"
+  "CMakeFiles/bench_a1_quantization.dir/bench_a1_quantization.cpp.o.d"
+  "bench_a1_quantization"
+  "bench_a1_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

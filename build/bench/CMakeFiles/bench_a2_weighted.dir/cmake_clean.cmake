@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_weighted.dir/bench_a2_weighted.cpp.o"
+  "CMakeFiles/bench_a2_weighted.dir/bench_a2_weighted.cpp.o.d"
+  "bench_a2_weighted"
+  "bench_a2_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_repair.dir/bench_a4_repair.cpp.o"
+  "CMakeFiles/bench_a4_repair.dir/bench_a4_repair.cpp.o.d"
+  "bench_a4_repair"
+  "bench_a4_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a5_udg_params.
+# This may be replaced when dependencies are built.

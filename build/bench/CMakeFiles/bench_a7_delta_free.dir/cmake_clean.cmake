@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_delta_free.dir/bench_a7_delta_free.cpp.o"
+  "CMakeFiles/bench_a7_delta_free.dir/bench_a7_delta_free.cpp.o.d"
+  "bench_a7_delta_free"
+  "bench_a7_delta_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_delta_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

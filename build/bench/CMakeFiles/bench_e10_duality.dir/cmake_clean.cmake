@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_duality.dir/bench_e10_duality.cpp.o"
+  "CMakeFiles/bench_e10_duality.dir/bench_e10_duality.cpp.o.d"
+  "bench_e10_duality"
+  "bench_e10_duality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_duality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

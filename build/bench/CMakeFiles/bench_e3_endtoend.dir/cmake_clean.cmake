@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_endtoend.dir/bench_e3_endtoend.cpp.o"
+  "CMakeFiles/bench_e3_endtoend.dir/bench_e3_endtoend.cpp.o.d"
+  "bench_e3_endtoend"
+  "bench_e3_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

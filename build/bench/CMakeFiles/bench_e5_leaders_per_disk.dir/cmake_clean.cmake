@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_leaders_per_disk.dir/bench_e5_leaders_per_disk.cpp.o"
+  "CMakeFiles/bench_e5_leaders_per_disk.dir/bench_e5_leaders_per_disk.cpp.o.d"
+  "bench_e5_leaders_per_disk"
+  "bench_e5_leaders_per_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_leaders_per_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

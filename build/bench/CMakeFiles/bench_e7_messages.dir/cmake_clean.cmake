@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_messages.dir/bench_e7_messages.cpp.o"
+  "CMakeFiles/bench_e7_messages.dir/bench_e7_messages.cpp.o.d"
+  "bench_e7_messages"
+  "bench_e7_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e8_baselines.cpp" "bench/CMakeFiles/bench_e8_baselines.dir/bench_e8_baselines.cpp.o" "gcc" "bench/CMakeFiles/bench_e8_baselines.dir/bench_e8_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algo/CMakeFiles/ftc_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/domination/CMakeFiles/ftc_domination.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ftc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ftc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_general_graph.dir/adhoc_general_graph.cpp.o"
+  "CMakeFiles/adhoc_general_graph.dir/adhoc_general_graph.cpp.o.d"
+  "adhoc_general_graph"
+  "adhoc_general_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_general_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

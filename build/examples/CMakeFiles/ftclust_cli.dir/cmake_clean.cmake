@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftclust_cli.dir/ftclust_cli.cpp.o"
+  "CMakeFiles/ftclust_cli.dir/ftclust_cli.cpp.o.d"
+  "ftclust_cli"
+  "ftclust_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftclust_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

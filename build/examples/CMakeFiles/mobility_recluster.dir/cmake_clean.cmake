@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_recluster.dir/mobility_recluster.cpp.o"
+  "CMakeFiles/mobility_recluster.dir/mobility_recluster.cpp.o.d"
+  "mobility_recluster"
+  "mobility_recluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_recluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

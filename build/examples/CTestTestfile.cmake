@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart" "--n=120" "--k=2")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_sensor_backbone "/root/repo/build/examples/sensor_backbone" "--n=300" "--days=6")
+set_tests_properties(smoke_sensor_backbone PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_adhoc "/root/repo/build/examples/adhoc_general_graph" "--n=150" "--t=2")
+set_tests_properties(smoke_adhoc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_mobility "/root/repo/build/examples/mobility_recluster" "--n=150" "--steps=3")
+set_tests_properties(smoke_mobility PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_cli_udg "/root/repo/build/examples/ftclust_cli" "--generate=udg" "--n=150" "--algorithm=udg" "--k=2" "--connect")
+set_tests_properties(smoke_cli_udg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_cli_pipeline "/root/repo/build/examples/ftclust_cli" "--generate=gnp" "--n=100" "--algorithm=pipeline" "--k=2")
+set_tests_properties(smoke_cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_cli_exact "/root/repo/build/examples/ftclust_cli" "--generate=grid" "--n=25" "--algorithm=exact" "--k=1")
+set_tests_properties(smoke_cli_exact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_energy "/root/repo/build/examples/energy_lifetime" "--n=250" "--epochs=15")
+set_tests_properties(smoke_energy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_cli_udg_io "/root/repo/build/examples/ftclust_cli" "--generate=udg" "--n=80" "--algorithm=greedy" "--k=1" "--save-udg=cli_smoke.udg")
+set_tests_properties(smoke_cli_udg_io PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

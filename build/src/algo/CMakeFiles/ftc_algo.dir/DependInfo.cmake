@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/baseline/greedy.cpp" "src/algo/CMakeFiles/ftc_algo.dir/baseline/greedy.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/baseline/greedy.cpp.o.d"
+  "/root/repo/src/algo/baseline/lrg.cpp" "src/algo/CMakeFiles/ftc_algo.dir/baseline/lrg.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/baseline/lrg.cpp.o.d"
+  "/root/repo/src/algo/baseline/lrg_process.cpp" "src/algo/CMakeFiles/ftc_algo.dir/baseline/lrg_process.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/baseline/lrg_process.cpp.o.d"
+  "/root/repo/src/algo/baseline/luby.cpp" "src/algo/CMakeFiles/ftc_algo.dir/baseline/luby.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/baseline/luby.cpp.o.d"
+  "/root/repo/src/algo/baseline/luby_process.cpp" "src/algo/CMakeFiles/ftc_algo.dir/baseline/luby_process.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/baseline/luby_process.cpp.o.d"
+  "/root/repo/src/algo/baseline/mis_clustering.cpp" "src/algo/CMakeFiles/ftc_algo.dir/baseline/mis_clustering.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/baseline/mis_clustering.cpp.o.d"
+  "/root/repo/src/algo/exact/exact.cpp" "src/algo/CMakeFiles/ftc_algo.dir/exact/exact.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/exact/exact.cpp.o.d"
+  "/root/repo/src/algo/extensions/cds.cpp" "src/algo/CMakeFiles/ftc_algo.dir/extensions/cds.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/extensions/cds.cpp.o.d"
+  "/root/repo/src/algo/extensions/repair.cpp" "src/algo/CMakeFiles/ftc_algo.dir/extensions/repair.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/extensions/repair.cpp.o.d"
+  "/root/repo/src/algo/lp/lp_kmds.cpp" "src/algo/CMakeFiles/ftc_algo.dir/lp/lp_kmds.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/lp/lp_kmds.cpp.o.d"
+  "/root/repo/src/algo/lp/lp_kmds_process.cpp" "src/algo/CMakeFiles/ftc_algo.dir/lp/lp_kmds_process.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/lp/lp_kmds_process.cpp.o.d"
+  "/root/repo/src/algo/pipeline.cpp" "src/algo/CMakeFiles/ftc_algo.dir/pipeline.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/pipeline.cpp.o.d"
+  "/root/repo/src/algo/rounding/rounding.cpp" "src/algo/CMakeFiles/ftc_algo.dir/rounding/rounding.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/rounding/rounding.cpp.o.d"
+  "/root/repo/src/algo/rounding/rounding_process.cpp" "src/algo/CMakeFiles/ftc_algo.dir/rounding/rounding_process.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/rounding/rounding_process.cpp.o.d"
+  "/root/repo/src/algo/udg/udg_kmds.cpp" "src/algo/CMakeFiles/ftc_algo.dir/udg/udg_kmds.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/udg/udg_kmds.cpp.o.d"
+  "/root/repo/src/algo/udg/udg_kmds_process.cpp" "src/algo/CMakeFiles/ftc_algo.dir/udg/udg_kmds_process.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/udg/udg_kmds_process.cpp.o.d"
+  "/root/repo/src/algo/weighted/weighted.cpp" "src/algo/CMakeFiles/ftc_algo.dir/weighted/weighted.cpp.o" "gcc" "src/algo/CMakeFiles/ftc_algo.dir/weighted/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/domination/CMakeFiles/ftc_domination.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ftc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ftc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domination/bounds.cpp" "src/domination/CMakeFiles/ftc_domination.dir/bounds.cpp.o" "gcc" "src/domination/CMakeFiles/ftc_domination.dir/bounds.cpp.o.d"
+  "/root/repo/src/domination/domination.cpp" "src/domination/CMakeFiles/ftc_domination.dir/domination.cpp.o" "gcc" "src/domination/CMakeFiles/ftc_domination.dir/domination.cpp.o.d"
+  "/root/repo/src/domination/fractional.cpp" "src/domination/CMakeFiles/ftc_domination.dir/fractional.cpp.o" "gcc" "src/domination/CMakeFiles/ftc_domination.dir/fractional.cpp.o.d"
+  "/root/repo/src/domination/lp_solver.cpp" "src/domination/CMakeFiles/ftc_domination.dir/lp_solver.cpp.o" "gcc" "src/domination/CMakeFiles/ftc_domination.dir/lp_solver.cpp.o.d"
+  "/root/repo/src/domination/profiles.cpp" "src/domination/CMakeFiles/ftc_domination.dir/profiles.cpp.o" "gcc" "src/domination/CMakeFiles/ftc_domination.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/ftc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ftc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

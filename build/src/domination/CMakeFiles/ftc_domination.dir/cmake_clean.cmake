@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_domination.dir/bounds.cpp.o"
+  "CMakeFiles/ftc_domination.dir/bounds.cpp.o.d"
+  "CMakeFiles/ftc_domination.dir/domination.cpp.o"
+  "CMakeFiles/ftc_domination.dir/domination.cpp.o.d"
+  "CMakeFiles/ftc_domination.dir/fractional.cpp.o"
+  "CMakeFiles/ftc_domination.dir/fractional.cpp.o.d"
+  "CMakeFiles/ftc_domination.dir/lp_solver.cpp.o"
+  "CMakeFiles/ftc_domination.dir/lp_solver.cpp.o.d"
+  "CMakeFiles/ftc_domination.dir/profiles.cpp.o"
+  "CMakeFiles/ftc_domination.dir/profiles.cpp.o.d"
+  "libftc_domination.a"
+  "libftc_domination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_domination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ftc_domination.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/cover.cpp" "src/geom/CMakeFiles/ftc_geom.dir/cover.cpp.o" "gcc" "src/geom/CMakeFiles/ftc_geom.dir/cover.cpp.o.d"
+  "/root/repo/src/geom/point.cpp" "src/geom/CMakeFiles/ftc_geom.dir/point.cpp.o" "gcc" "src/geom/CMakeFiles/ftc_geom.dir/point.cpp.o.d"
+  "/root/repo/src/geom/svg.cpp" "src/geom/CMakeFiles/ftc_geom.dir/svg.cpp.o" "gcc" "src/geom/CMakeFiles/ftc_geom.dir/svg.cpp.o.d"
+  "/root/repo/src/geom/udg.cpp" "src/geom/CMakeFiles/ftc_geom.dir/udg.cpp.o" "gcc" "src/geom/CMakeFiles/ftc_geom.dir/udg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ftc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

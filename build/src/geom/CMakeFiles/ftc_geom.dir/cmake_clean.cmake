@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_geom.dir/cover.cpp.o"
+  "CMakeFiles/ftc_geom.dir/cover.cpp.o.d"
+  "CMakeFiles/ftc_geom.dir/point.cpp.o"
+  "CMakeFiles/ftc_geom.dir/point.cpp.o.d"
+  "CMakeFiles/ftc_geom.dir/svg.cpp.o"
+  "CMakeFiles/ftc_geom.dir/svg.cpp.o.d"
+  "CMakeFiles/ftc_geom.dir/udg.cpp.o"
+  "CMakeFiles/ftc_geom.dir/udg.cpp.o.d"
+  "libftc_geom.a"
+  "libftc_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

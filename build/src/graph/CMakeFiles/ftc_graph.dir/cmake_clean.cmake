@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_graph.dir/generators.cpp.o"
+  "CMakeFiles/ftc_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/ftc_graph.dir/graph.cpp.o"
+  "CMakeFiles/ftc_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/ftc_graph.dir/io.cpp.o"
+  "CMakeFiles/ftc_graph.dir/io.cpp.o.d"
+  "CMakeFiles/ftc_graph.dir/properties.cpp.o"
+  "CMakeFiles/ftc_graph.dir/properties.cpp.o.d"
+  "libftc_graph.a"
+  "libftc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

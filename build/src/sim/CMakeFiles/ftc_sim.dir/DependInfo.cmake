@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async.cpp" "src/sim/CMakeFiles/ftc_sim.dir/async.cpp.o" "gcc" "src/sim/CMakeFiles/ftc_sim.dir/async.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/sim/CMakeFiles/ftc_sim.dir/message.cpp.o" "gcc" "src/sim/CMakeFiles/ftc_sim.dir/message.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/ftc_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/ftc_sim.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ftc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ftc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

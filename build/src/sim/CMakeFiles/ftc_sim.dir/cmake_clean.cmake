@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_sim.dir/async.cpp.o"
+  "CMakeFiles/ftc_sim.dir/async.cpp.o.d"
+  "CMakeFiles/ftc_sim.dir/message.cpp.o"
+  "CMakeFiles/ftc_sim.dir/message.cpp.o.d"
+  "CMakeFiles/ftc_sim.dir/network.cpp.o"
+  "CMakeFiles/ftc_sim.dir/network.cpp.o.d"
+  "libftc_sim.a"
+  "libftc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

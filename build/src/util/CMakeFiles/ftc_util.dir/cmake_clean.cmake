@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_util.dir/cli.cpp.o"
+  "CMakeFiles/ftc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ftc_util.dir/csv.cpp.o"
+  "CMakeFiles/ftc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ftc_util.dir/rng.cpp.o"
+  "CMakeFiles/ftc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ftc_util.dir/stats.cpp.o"
+  "CMakeFiles/ftc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ftc_util.dir/table.cpp.o"
+  "CMakeFiles/ftc_util.dir/table.cpp.o.d"
+  "libftc_util.a"
+  "libftc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algo/cds_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/cds_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/cds_test.cpp.o.d"
+  "/root/repo/tests/algo/exact_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/exact_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/exact_test.cpp.o.d"
+  "/root/repo/tests/algo/greedy_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/greedy_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/greedy_test.cpp.o.d"
+  "/root/repo/tests/algo/lp_kmds_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/lp_kmds_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/lp_kmds_test.cpp.o.d"
+  "/root/repo/tests/algo/lp_process_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/lp_process_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/lp_process_test.cpp.o.d"
+  "/root/repo/tests/algo/lp_twohop_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/lp_twohop_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/lp_twohop_test.cpp.o.d"
+  "/root/repo/tests/algo/lrg_process_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/lrg_process_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/lrg_process_test.cpp.o.d"
+  "/root/repo/tests/algo/lrg_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/lrg_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/lrg_test.cpp.o.d"
+  "/root/repo/tests/algo/luby_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/luby_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/luby_test.cpp.o.d"
+  "/root/repo/tests/algo/mis_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/mis_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/mis_test.cpp.o.d"
+  "/root/repo/tests/algo/repair_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/repair_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/repair_test.cpp.o.d"
+  "/root/repo/tests/algo/rounding_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/rounding_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/rounding_test.cpp.o.d"
+  "/root/repo/tests/algo/udg_kmds_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/udg_kmds_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/udg_kmds_test.cpp.o.d"
+  "/root/repo/tests/algo/weighted_test.cpp" "tests/CMakeFiles/ftc_tests.dir/algo/weighted_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/algo/weighted_test.cpp.o.d"
+  "/root/repo/tests/claims/paper_claims_test.cpp" "tests/CMakeFiles/ftc_tests.dir/claims/paper_claims_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/claims/paper_claims_test.cpp.o.d"
+  "/root/repo/tests/domination/bounds_test.cpp" "tests/CMakeFiles/ftc_tests.dir/domination/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/domination/bounds_test.cpp.o.d"
+  "/root/repo/tests/domination/domination_test.cpp" "tests/CMakeFiles/ftc_tests.dir/domination/domination_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/domination/domination_test.cpp.o.d"
+  "/root/repo/tests/domination/fractional_test.cpp" "tests/CMakeFiles/ftc_tests.dir/domination/fractional_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/domination/fractional_test.cpp.o.d"
+  "/root/repo/tests/domination/lp_solver_test.cpp" "tests/CMakeFiles/ftc_tests.dir/domination/lp_solver_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/domination/lp_solver_test.cpp.o.d"
+  "/root/repo/tests/domination/profiles_test.cpp" "tests/CMakeFiles/ftc_tests.dir/domination/profiles_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/domination/profiles_test.cpp.o.d"
+  "/root/repo/tests/geom/cover_test.cpp" "tests/CMakeFiles/ftc_tests.dir/geom/cover_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/geom/cover_test.cpp.o.d"
+  "/root/repo/tests/geom/point_test.cpp" "tests/CMakeFiles/ftc_tests.dir/geom/point_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/geom/point_test.cpp.o.d"
+  "/root/repo/tests/geom/svg_test.cpp" "tests/CMakeFiles/ftc_tests.dir/geom/svg_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/geom/svg_test.cpp.o.d"
+  "/root/repo/tests/geom/udg_test.cpp" "tests/CMakeFiles/ftc_tests.dir/geom/udg_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/geom/udg_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/ftc_tests.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/ftc_tests.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/io_test.cpp" "tests/CMakeFiles/ftc_tests.dir/graph/io_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/graph/io_test.cpp.o.d"
+  "/root/repo/tests/graph/properties_test.cpp" "tests/CMakeFiles/ftc_tests.dir/graph/properties_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/graph/properties_test.cpp.o.d"
+  "/root/repo/tests/integration/edge_cases_test.cpp" "tests/CMakeFiles/ftc_tests.dir/integration/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/integration/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/integration/faults_test.cpp" "tests/CMakeFiles/ftc_tests.dir/integration/faults_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/integration/faults_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/ftc_tests.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/property/invariants_test.cpp" "tests/CMakeFiles/ftc_tests.dir/property/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/property/invariants_test.cpp.o.d"
+  "/root/repo/tests/sim/async_test.cpp" "tests/CMakeFiles/ftc_tests.dir/sim/async_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/sim/async_test.cpp.o.d"
+  "/root/repo/tests/sim/message_test.cpp" "tests/CMakeFiles/ftc_tests.dir/sim/message_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/sim/message_test.cpp.o.d"
+  "/root/repo/tests/sim/network_test.cpp" "tests/CMakeFiles/ftc_tests.dir/sim/network_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/sim/network_test.cpp.o.d"
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/ftc_tests.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/ftc_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/ftc_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/ftc_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/ftc_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algo/CMakeFiles/ftc_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/domination/CMakeFiles/ftc_domination.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ftc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ftc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
