@@ -12,6 +12,7 @@
 // each "day". Whenever fewer than 95% of surviving sensors can reach a
 // live backbone node, the network re-clusters — an energy-expensive event.
 // Fewer rebuilds = the fault-tolerance payoff of larger k.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -117,9 +118,14 @@ int main(int argc, char** argv) {
   for (std::int32_t k : {1, 2, 3, 4}) {
     const auto run = simulate(udg, k, days, daily_death, seed);
     std::printf("k=%d backbone (initial size %4zu): ", k, run.initial_size);
-    std::printf("coverage on day 5/15/%d: %5.1f%% %5.1f%% %5.1f%%,  ", days,
-                100.0 * run.daily_coverage[4], 100.0 * run.daily_coverage[14],
-                100.0 * run.daily_coverage[static_cast<std::size_t>(days - 1)]);
+    // Report days clamp to the simulated horizon (short --days runs).
+    auto at_day = [&](int day) {
+      const int idx = std::min(day, days) - 1;
+      return 100.0 * run.daily_coverage[static_cast<std::size_t>(idx)];
+    };
+    std::printf("coverage on day %d/%d/%d: %5.1f%% %5.1f%% %5.1f%%,  ",
+                std::min(5, days), std::min(15, days), days, at_day(5),
+                at_day(15), at_day(days));
     std::printf("rebuilds: %d\n", run.rebuilds);
   }
 

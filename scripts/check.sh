@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure a separate ASan+UBSan build tree, build
+# everything, and run the full test suite under the sanitizers. Any leak,
+# overflow, or UB aborts the run with a nonzero exit.
+#
+#   scripts/check.sh [build-dir]        (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFTC_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

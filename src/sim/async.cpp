@@ -79,9 +79,38 @@ void AsyncNetwork::backend_send(NodeId from, NodeId to,
   send_envelope(from, to, std::move(env), executing_time_);
 }
 
+void AsyncNetwork::schedule_crash(NodeId v, std::int64_t pulse) {
+  assert(v >= 0 && v < graph_->n());
+  auto& state = states_[static_cast<std::size_t>(v)];
+  state.crash_pulse = std::min(state.crash_pulse, std::max<std::int64_t>(pulse, 0));
+}
+
+bool AsyncNetwork::crashed(NodeId v) const noexcept {
+  const auto& state = states_[static_cast<std::size_t>(v)];
+  return state.pulse >= state.crash_pulse;
+}
+
+void AsyncNetwork::announce_crash_if_due(NodeId v, std::int64_t now) {
+  auto& state = states_[static_cast<std::size_t>(v)];
+  if (state.pulse < state.crash_pulse || state.crash_announced) return;
+  state.crash_announced = true;
+  // Link-layer detection: the transport tells each neighbor that v's last
+  // completed pulse was crash_pulse - 1, exactly like a HALT announcement,
+  // so nobody waits for envelopes v will never send. counts=false because
+  // v's own pulse-(crash_pulse-1) envelopes (if any) already counted.
+  for (NodeId w : graph_->neighbors(v)) {
+    Envelope marker;
+    marker.pulse = state.crash_pulse - 1;
+    marker.halt = true;
+    marker.counts = false;
+    send_envelope(v, w, std::move(marker), now);
+  }
+}
+
 bool AsyncNetwork::ready(NodeId v) const {
   const auto& state = states_[static_cast<std::size_t>(v)];
   if (state.halted) return false;
+  if (state.pulse >= state.crash_pulse) return false;
   if (processes_[static_cast<std::size_t>(v)] == nullptr) return false;
   const std::int64_t p = state.pulse;
   if (p == 0) return true;
@@ -190,6 +219,7 @@ std::int64_t AsyncNetwork::run(std::int64_t max_pulses) {
         break;  // non-isolated nodes must now wait for envelopes
       }
     }
+    announce_crash_if_due(v, 0);
   }
 
   while (!events_.empty()) {
@@ -205,6 +235,7 @@ std::int64_t AsyncNetwork::run(std::int64_t max_pulses) {
            ready(v)) {
       execute_pulse(v, event.time);
     }
+    announce_crash_if_due(v, event.time);
   }
 
   std::int64_t slowest = 0;

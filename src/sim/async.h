@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <queue>
@@ -91,6 +92,19 @@ class AsyncNetwork final : public NetworkBackend {
   /// slowest node.
   std::int64_t run(std::int64_t max_pulses);
 
+  /// Schedules a fail-stop crash of v: it executes pulses < `pulse` and
+  /// then never again. The model is fail-stop with link-layer detection
+  /// (lost carrier): when the crash takes effect the transport announces
+  /// v's termination to its neighbors — after the usual random delivery
+  /// delay — so the synchronizer stops waiting for v's future pulses
+  /// instead of deadlocking. Envelopes v sent before crashing still
+  /// deliver. Repeated or past-pulse schedules keep the earliest pulse;
+  /// `pulse <= 0` crashes v before it executes anything. Call before run().
+  void schedule_crash(graph::NodeId v, std::int64_t pulse);
+
+  /// True if v's crash has taken effect (it will execute no more pulses).
+  [[nodiscard]] bool crashed(graph::NodeId v) const noexcept;
+
   /// The process at node v, downcast to T.
   template <typename T>
   [[nodiscard]] T& process_as(graph::NodeId v) {
@@ -100,6 +114,10 @@ class AsyncNetwork final : public NetworkBackend {
   }
 
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+
+  /// Embedding, or nullptr when built from a plain graph.
+  [[nodiscard]] const geom::UnitDiskGraph* udg() const noexcept { return udg_; }
+
   [[nodiscard]] const AsyncMetrics& metrics() const noexcept {
     return metrics_;
   }
@@ -143,6 +161,10 @@ class AsyncNetwork final : public NetworkBackend {
   struct NodeState {
     std::int64_t pulse = 0;  ///< next pulse to execute
     bool halted = false;
+    /// First pulse this node does NOT execute (fail-stop point); INT64_MAX
+    /// when no crash is scheduled.
+    std::int64_t crash_pulse = std::numeric_limits<std::int64_t>::max();
+    bool crash_announced = false;  ///< halt markers already sent on v's links
     // Envelopes buffered per pulse tag (payloads only; markers counted).
     std::map<std::int64_t, std::vector<Message>> payload_by_pulse;
     std::map<std::int64_t, std::int64_t> envelopes_by_pulse;
@@ -158,6 +180,10 @@ class AsyncNetwork final : public NetworkBackend {
 
   /// Runs node v's process for its next pulse at virtual time `now`.
   void execute_pulse(graph::NodeId v, std::int64_t now);
+
+  /// If v's crash point has been reached and not yet announced, sends the
+  /// link-layer halt markers to its neighbors at virtual time `now`.
+  void announce_crash_if_due(graph::NodeId v, std::int64_t now);
 
   void deliver(const DeliveryEvent& event);
 

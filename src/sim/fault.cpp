@@ -1,0 +1,245 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace ftc::sim {
+
+using graph::NodeId;
+
+FaultPlan FaultPlan::none() { return {}; }
+
+FaultPlan FaultPlan::crashes_at(
+    std::vector<std::pair<std::int64_t, NodeId>> when) {
+  FaultPlan plan;
+  Component c;
+  c.kind = Kind::kExplicit;
+  c.schedule = std::move(when);
+  plan.components_.push_back(std::move(c));
+  return plan;
+}
+
+FaultPlan FaultPlan::iid_crashes(double rate, std::int64_t from,
+                                 std::int64_t until) {
+  assert(rate >= 0.0 && rate <= 1.0);
+  FaultPlan plan;
+  Component c;
+  c.kind = Kind::kIid;
+  c.rate = rate;
+  c.from = from;
+  c.until = until;
+  plan.components_.push_back(c);
+  return plan;
+}
+
+FaultPlan FaultPlan::targeted_by_degree(NodeId count, std::int64_t round) {
+  FaultPlan plan;
+  Component c;
+  c.kind = Kind::kTargeted;
+  c.count = count;
+  c.round = round;
+  plan.components_.push_back(c);
+  return plan;
+}
+
+FaultPlan FaultPlan::region(geom::Point center, double radius,
+                            std::int64_t round) {
+  FaultPlan plan;
+  Component c;
+  c.kind = Kind::kRegion;
+  c.center = center;
+  c.radius = radius;
+  c.round = round;
+  plan.components_.push_back(c);
+  return plan;
+}
+
+FaultPlan FaultPlan::churn(double rate, std::int64_t min_downtime,
+                           std::int64_t max_downtime, std::int64_t from,
+                           std::int64_t until) {
+  assert(rate >= 0.0 && rate <= 1.0);
+  assert(min_downtime >= 1 && max_downtime >= min_downtime);
+  FaultPlan plan;
+  Component c;
+  c.kind = Kind::kChurn;
+  c.rate = rate;
+  c.min_downtime = min_downtime;
+  c.max_downtime = max_downtime;
+  c.from = from;
+  c.until = until;
+  plan.components_.push_back(c);
+  return plan;
+}
+
+FaultPlan FaultPlan::then(FaultPlan other) const {
+  FaultPlan combined = *this;
+  for (auto& c : other.components_) {
+    combined.components_.push_back(std::move(c));
+  }
+  return combined;
+}
+
+bool FaultPlan::has_recoveries() const noexcept {
+  return std::any_of(components_.begin(), components_.end(),
+                     [](const Component& c) { return c.kind == Kind::kChurn; });
+}
+
+std::vector<FaultEvent> compile_fault_plan(const FaultPlan& plan,
+                                           const graph::Graph& g,
+                                           const geom::UnitDiskGraph* udg,
+                                           std::int64_t horizon,
+                                           std::uint64_t seed) {
+  const auto n = static_cast<std::size_t>(g.n());
+  std::vector<std::uint8_t> alive(n, 1);
+  std::vector<FaultEvent> events;
+  std::map<std::int64_t, std::vector<NodeId>> pending_recoveries;
+
+  // One independent stream per randomized component, so adding a component
+  // never perturbs the draws of the others.
+  const util::Rng root(seed);
+  std::vector<util::Rng> rngs;
+  rngs.reserve(plan.components_.size());
+  for (std::size_t i = 0; i < plan.components_.size(); ++i) {
+    rngs.push_back(root.split(i));
+  }
+
+  std::vector<std::uint8_t> rejoined_this_round(n, 0);
+  for (std::int64_t r = 0; r < horizon; ++r) {
+    // Rejoins first: a node that comes back at round r executes at least
+    // one round before any component may kill it again (the per-node
+    // alternating-events invariant the installer relies on).
+    std::fill(rejoined_this_round.begin(), rejoined_this_round.end(), 0);
+    if (const auto it = pending_recoveries.find(r);
+        it != pending_recoveries.end()) {
+      for (NodeId v : it->second) {
+        alive[static_cast<std::size_t>(v)] = 1;
+        rejoined_this_round[static_cast<std::size_t>(v)] = 1;
+        events.push_back({r, v, true});
+      }
+      pending_recoveries.erase(it);
+    }
+
+    auto kill = [&](NodeId v, const FaultPlan::Component& c, util::Rng& rng) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (!alive[vi] || rejoined_this_round[vi]) return;
+      alive[vi] = 0;
+      events.push_back({r, v, false});
+      if (c.kind == FaultPlan::Kind::kChurn) {
+        const std::int64_t down = rng.uniform_i64(c.min_downtime,
+                                                  c.max_downtime);
+        if (r + down < horizon) pending_recoveries[r + down].push_back(v);
+      }
+    };
+
+    for (std::size_t ci = 0; ci < plan.components_.size(); ++ci) {
+      const auto& c = plan.components_[ci];
+      util::Rng& rng = rngs[ci];
+      switch (c.kind) {
+        case FaultPlan::Kind::kExplicit:
+          for (const auto& [round, v] : c.schedule) {
+            if (round == r) kill(v, c, rng);
+          }
+          break;
+        case FaultPlan::Kind::kIid:
+        case FaultPlan::Kind::kChurn:
+          if (r >= c.from && r < c.until && c.rate > 0.0) {
+            for (NodeId v = 0; v < g.n(); ++v) {
+              // Draw for every node regardless of liveness so the stream
+              // stays aligned across plans with different victims.
+              const bool hit = rng.bernoulli(c.rate);
+              if (hit) kill(v, c, rng);
+            }
+          }
+          break;
+        case FaultPlan::Kind::kTargeted:
+          if (c.round == r) {
+            std::vector<NodeId> order;
+            for (NodeId v = 0; v < g.n(); ++v) {
+              if (alive[static_cast<std::size_t>(v)] &&
+                  !rejoined_this_round[static_cast<std::size_t>(v)]) {
+                order.push_back(v);
+              }
+            }
+            std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+              if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+              return a < b;
+            });
+            const auto take = std::min<std::size_t>(
+                order.size(), static_cast<std::size_t>(std::max<NodeId>(c.count, 0)));
+            for (std::size_t i = 0; i < take; ++i) kill(order[i], c, rng);
+          }
+          break;
+        case FaultPlan::Kind::kRegion:
+          if (c.round == r) {
+            if (udg == nullptr) {
+              throw std::invalid_argument(
+                  "compile_fault_plan: region component needs a UDG embedding");
+            }
+            for (NodeId v = 0; v < g.n(); ++v) {
+              if (geom::dist(udg->positions[static_cast<std::size_t>(v)],
+                             c.center) <= c.radius) {
+                kill(v, c, rng);
+              }
+            }
+          }
+          break;
+      }
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.round != b.round) return a.round < b.round;
+              if (a.recover != b.recover) return !a.recover;  // crashes first
+              return a.node < b.node;
+            });
+  return events;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {}
+
+const std::vector<FaultEvent>& FaultInjector::install(SyncNetwork& net,
+                                                      std::int64_t horizon,
+                                                      ProcessFactory factory) {
+  if (plan_.has_recoveries() && !factory) {
+    throw std::invalid_argument(
+        "FaultInjector: churn plans need a process factory for rejoins");
+  }
+  schedule_ = compile_fault_plan(plan_, net.graph(), net.udg(), horizon, seed_);
+  for (const FaultEvent& e : schedule_) {
+    if (e.recover) {
+      net.schedule_recovery(e.node, e.round, factory(e.node));
+    } else {
+      net.schedule_crash(e.node, e.round);
+    }
+  }
+  return schedule_;
+}
+
+const std::vector<FaultEvent>& FaultInjector::install(AsyncNetwork& net,
+                                                      std::int64_t horizon) {
+  if (plan_.has_recoveries()) {
+    throw std::invalid_argument(
+        "FaultInjector: the asynchronous executor does not support rejoins");
+  }
+  schedule_ = compile_fault_plan(plan_, net.graph(), net.udg(), horizon, seed_);
+  for (const FaultEvent& e : schedule_) {
+    net.schedule_crash(e.node, e.round);
+  }
+  return schedule_;
+}
+
+std::int64_t FaultInjector::crash_count() const noexcept {
+  return static_cast<std::int64_t>(
+      std::count_if(schedule_.begin(), schedule_.end(),
+                    [](const FaultEvent& e) { return !e.recover; }));
+}
+
+std::int64_t FaultInjector::recovery_count() const noexcept {
+  return static_cast<std::int64_t>(schedule_.size()) - crash_count();
+}
+
+}  // namespace ftc::sim

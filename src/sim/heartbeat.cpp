@@ -1,0 +1,63 @@
+#include "sim/heartbeat.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftc::sim {
+
+using graph::NodeId;
+
+HeartbeatMonitor::HeartbeatMonitor() : HeartbeatMonitor(Options{}) {}
+
+HeartbeatMonitor::HeartbeatMonitor(Options options) : options_(options) {}
+
+std::size_t HeartbeatMonitor::index_of(NodeId w) const {
+  const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), w);
+  assert(it != neighbors_.end() && *it == w &&
+         "HeartbeatMonitor: not a neighbor");
+  return static_cast<std::size_t>(it - neighbors_.begin());
+}
+
+void HeartbeatMonitor::observe(Context& ctx) {
+  if (!initialized_) {
+    initialized_ = true;
+    const auto nbrs = ctx.neighbors();
+    neighbors_.assign(nbrs.begin(), nbrs.end());
+    // Grace period: pretend everyone was heard the round before monitoring
+    // started, so a neighbor dead from the very beginning is suspected
+    // after the same timeout as one that dies later.
+    last_heard_.assign(neighbors_.size(), ctx.round() - 1);
+    suspected_.assign(neighbors_.size(), 0);
+  }
+
+  for (const Message& msg : ctx.inbox()) {
+    const std::size_t j = index_of(msg.from);
+    last_heard_[j] = ctx.round();
+    if (suspected_[j]) {
+      suspected_[j] = 0;
+      ++refuted_suspicions_;
+    }
+  }
+
+  for (std::size_t j = 0; j < neighbors_.size(); ++j) {
+    if (!suspected_[j] && ctx.round() - last_heard_[j] > options_.timeout) {
+      suspected_[j] = 1;
+      ++suspicions_raised_;
+    }
+  }
+}
+
+bool HeartbeatMonitor::suspects(NodeId w) const {
+  assert(initialized_);
+  return suspected_[index_of(w)] != 0;
+}
+
+std::vector<NodeId> HeartbeatMonitor::suspected() const {
+  std::vector<NodeId> out;
+  for (std::size_t j = 0; j < neighbors_.size(); ++j) {
+    if (suspected_[j]) out.push_back(neighbors_[j]);
+  }
+  return out;
+}
+
+}  // namespace ftc::sim

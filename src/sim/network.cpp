@@ -82,7 +82,7 @@ void SyncNetwork::backend_send(graph::NodeId from, graph::NodeId to,
   outboxes_[static_cast<std::size_t>(to)].push_back(std::move(msg));
 }
 
-void SyncNetwork::apply_scheduled_crashes() {
+void SyncNetwork::apply_scheduled_events() {
   for (auto it = scheduled_crashes_.begin();
        it != scheduled_crashes_.end();) {
     if (it->first <= round_) {
@@ -92,11 +92,21 @@ void SyncNetwork::apply_scheduled_crashes() {
       ++it;
     }
   }
+  for (auto it = scheduled_recoveries_.begin();
+       it != scheduled_recoveries_.end();) {
+    if (it->round <= round_) {
+      recover(it->node, std::move(it->process));
+      it = scheduled_recoveries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void SyncNetwork::crash(graph::NodeId v) {
   assert(v >= 0 && v < graph_->n());
   const auto idx = static_cast<std::size_t>(v);
+  if (crashed_[idx]) return;
   crashed_[idx] = true;
   inboxes_[idx].clear();
   // Drop this node's in-flight traffic: both what it queued this round and
@@ -109,8 +119,25 @@ void SyncNetwork::crash(graph::NodeId v) {
   }
 }
 
+void SyncNetwork::recover(graph::NodeId v, std::unique_ptr<Process> process) {
+  assert(v >= 0 && v < graph_->n());
+  const auto idx = static_cast<std::size_t>(v);
+  crashed_[idx] = false;
+  inboxes_[idx].clear();
+  outboxes_[idx].clear();
+  processes_[idx] = std::move(process);
+}
+
+graph::NodeId SyncNetwork::live_count() const noexcept {
+  graph::NodeId live = 0;
+  for (bool c : crashed_) {
+    if (!c) ++live;
+  }
+  return live;
+}
+
 bool SyncNetwork::step() {
-  apply_scheduled_crashes();
+  apply_scheduled_events();
 
   // Run every live, unhalted process against the inbox delivered at the end
   // of the previous round.
@@ -160,7 +187,8 @@ bool SyncNetwork::step() {
     const Process* p = processes_[idx].get();
     if (p != nullptr && !p->halted() && !crashed_[idx]) return true;
   }
-  return false;
+  // Nobody is running now, but pending rejoins can still wake the network.
+  return !scheduled_recoveries_.empty();
 }
 
 std::int64_t SyncNetwork::run(std::int64_t max_rounds) {
@@ -174,7 +202,18 @@ std::int64_t SyncNetwork::run(std::int64_t max_rounds) {
 
 void SyncNetwork::schedule_crash(graph::NodeId v, std::int64_t round) {
   assert(v >= 0 && v < graph_->n());
+  // A crash in the past never happened, and a crashed node cannot crash
+  // again (it may, however, rejoin and be re-crashed by a *later* schedule —
+  // the liveness re-check happens in crash() at application time).
+  if (round < round_ || crashed_[static_cast<std::size_t>(v)]) return;
   scheduled_crashes_.emplace_back(round, v);
+}
+
+void SyncNetwork::schedule_recovery(graph::NodeId v, std::int64_t round,
+                                    std::unique_ptr<Process> process) {
+  assert(v >= 0 && v < graph_->n());
+  if (round < round_) return;
+  scheduled_recoveries_.push_back({round, v, std::move(process)});
 }
 
 void SyncNetwork::set_message_loss(double loss, std::uint64_t loss_seed) {

@@ -19,6 +19,12 @@
 // Crash faults: a node may be crashed at the start of any round; from then
 // on it neither sends, receives, nor computes. Messages already in flight
 // from it are dropped.
+//
+// Churn: a crashed node may later rejoin (recover / schedule_recovery) with
+// a freshly constructed process — the fail-recover model where a restarted
+// node retains no volatile protocol state. Rejoined nodes start with an
+// empty inbox; their neighbors are not notified (detecting the rejoin is
+// the protocols' job, e.g. via sim/heartbeat.h).
 #pragma once
 
 #include <cassert>
@@ -178,16 +184,35 @@ class SyncNetwork final : public NetworkBackend {
   }
 
   /// Crashes node v immediately: it stops computing and communicating, and
-  /// any undelivered messages from it are dropped.
+  /// any undelivered messages from it are dropped. Crashing an already
+  /// crashed node is a no-op.
   void crash(graph::NodeId v);
 
-  /// Schedules a crash of v at the start of round `round`.
+  /// Schedules a crash of v at the start of round `round`. Scheduling a
+  /// crash for a past round or for an already-crashed node is a no-op (and
+  /// the crash is skipped if v is already down when the round arrives).
   void schedule_crash(graph::NodeId v, std::int64_t round);
+
+  /// Revives v immediately with a freshly constructed process (churn
+  /// rejoin): clears the crash flag and starts executing from the current
+  /// round with an empty inbox. Also valid on a live node, where it merely
+  /// replaces the process (back-to-back churn).
+  void recover(graph::NodeId v, std::unique_ptr<Process> process);
+
+  /// Schedules a rejoin of v at the start of round `round`, booting
+  /// `process`. Scheduling for a past round is a no-op (the process is
+  /// discarded). Pending recoveries keep run() going even when every live
+  /// process has halted, so a network can drain a full churn schedule.
+  void schedule_recovery(graph::NodeId v, std::int64_t round,
+                         std::unique_ptr<Process> process);
 
   /// True if v has crashed.
   [[nodiscard]] bool crashed(graph::NodeId v) const noexcept {
     return crashed_[static_cast<std::size_t>(v)];
   }
+
+  /// Number of currently live (non-crashed) nodes.
+  [[nodiscard]] graph::NodeId live_count() const noexcept;
 
   /// The process installed at node v, downcast to T (checked by assert in
   /// debug builds via dynamic_cast).
@@ -224,7 +249,7 @@ class SyncNetwork final : public NetworkBackend {
   void backend_send(graph::NodeId from, graph::NodeId to,
                     std::vector<Word> words) override;
 
-  void apply_scheduled_crashes();
+  void apply_scheduled_events();
 
   const graph::Graph* graph_ = nullptr;
   const geom::UnitDiskGraph* udg_ = nullptr;
@@ -235,6 +260,12 @@ class SyncNetwork final : public NetworkBackend {
   std::vector<bool> sent_to_;  // per-round guard: one message per edge
   std::vector<bool> crashed_;
   std::vector<std::pair<std::int64_t, graph::NodeId>> scheduled_crashes_;
+  struct ScheduledRecovery {
+    std::int64_t round = 0;
+    graph::NodeId node = -1;
+    std::unique_ptr<Process> process;
+  };
+  std::vector<ScheduledRecovery> scheduled_recoveries_;
   double message_loss_ = 0.0;
   util::Rng loss_rng_{0};
   std::int64_t messages_lost_ = 0;

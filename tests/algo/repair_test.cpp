@@ -67,6 +67,89 @@ TEST(Repair, DetectsUnsatisfiableDamage) {
   EXPECT_FALSE(result.fully_satisfied);
 }
 
+TEST(Repair, UnsatisfiableDamageStillRepairsBestEffort) {
+  // Star with demand 2 everywhere: killing the hub leaves every leaf with a
+  // closed neighborhood of size 1, so demand 2 is unsatisfiable — but the
+  // repair must still promote each isolated leaf to get coverage 1.
+  const Graph g = graph::star(5);
+  const auto d = uniform_demands(5, 2);
+  const std::vector<NodeId> base{0};
+  const std::vector<NodeId> failed{0};
+  const auto result = repair_after_failures(g, base, failed, d);
+  EXPECT_FALSE(result.fully_satisfied);
+  // Best effort: on the live graph with demands clamped to what is
+  // achievable, the repaired set is a valid cover.
+  const Graph live = g.without_nodes(failed);
+  auto live_demands = clamp_demands(live, d);
+  live_demands[0] = 0;
+  EXPECT_TRUE(domination::is_k_dominating(live, result.set, live_demands));
+  EXPECT_EQ(result.set, (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(Repair, OpenModeIsolatedSurvivorsSelfPromote) {
+  // Open mode: an isolated non-member has no neighbor that could cover it,
+  // but joining the set itself exempts it from its own demand. Kill node 1
+  // on a path of 3 — nodes 0 and 2 become isolated and must self-promote.
+  const Graph g = graph::path(3);
+  const auto d = uniform_demands(3, 1);
+  const std::vector<NodeId> base{1};
+  const std::vector<NodeId> failed{1};
+  const auto result =
+      repair_after_failures(g, base, failed, d, Mode::kOpenForNonMembers);
+  EXPECT_TRUE(result.fully_satisfied);
+  EXPECT_EQ(result.set, (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(result.promoted, 2);
+}
+
+TEST(Repair, DisconnectedResidualGraphRepairsEachComponent) {
+  // Two 4-cliques joined only through a bridge node 0; the base set is {0}
+  // plus one dominator per side. Killing the bridge disconnects the residual
+  // graph — repair must fix both components independently.
+  //
+  //   component A: 1-2-3-4 (clique)     component B: 5-6-7-8 (clique)
+  //   bridge 0 adjacent to 1 and 5.
+  std::vector<std::pair<NodeId, NodeId>> edges{{0, 1}, {0, 5}};
+  for (NodeId a = 1; a <= 4; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b <= 4; ++b) {
+      edges.push_back({a, b});
+    }
+  }
+  for (NodeId a = 5; a <= 8; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b <= 8; ++b) {
+      edges.push_back({a, b});
+    }
+  }
+  const Graph g = Graph::from_edges(9, edges);
+  const auto d = clamp_demands(g, uniform_demands(9, 2));
+  const std::vector<NodeId> base{0, 1, 5};
+  const std::vector<NodeId> failed{0};
+
+  const auto result = repair_after_failures(g, base, failed, d);
+  const Graph live = g.without_nodes(failed);
+  auto live_demands = clamp_demands(live, d);
+  live_demands[0] = 0;
+  EXPECT_TRUE(domination::is_k_dominating(live, result.set, live_demands));
+  // Each component got its own promotion: members on both sides.
+  bool left = false;
+  bool right = false;
+  for (NodeId v : result.set) {
+    left |= v >= 1 && v <= 4;
+    right |= v >= 5;
+  }
+  EXPECT_TRUE(left);
+  EXPECT_TRUE(right);
+}
+
+TEST(Repair, AllNodesFailedYieldsEmptySet) {
+  const Graph g = graph::complete(4);
+  const auto d = uniform_demands(4, 1);
+  const std::vector<NodeId> base{0};
+  const std::vector<NodeId> failed{0, 1, 2, 3};
+  const auto result = repair_after_failures(g, base, failed, d);
+  EXPECT_TRUE(result.set.empty());
+  EXPECT_EQ(result.promoted, 0);
+}
+
 class RepairSweep
     : public ::testing::TestWithParam<std::tuple<std::int32_t, int>> {};
 

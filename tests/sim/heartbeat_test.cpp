@@ -1,0 +1,142 @@
+#include "sim/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "graph/generators.h"
+
+namespace ftc::sim {
+namespace {
+
+using graph::NodeId;
+
+/// Broadcasts a beacon every round and feeds its monitor — the minimal
+/// heartbeat host. Records when each suspicion was first raised.
+class BeaconProcess final : public Process {
+ public:
+  explicit BeaconProcess(std::int64_t timeout)
+      : monitor_(HeartbeatMonitor::Options{timeout}) {}
+
+  void on_round(Context& ctx) override {
+    monitor_.observe(ctx);
+    for (NodeId w : ctx.neighbors()) {
+      if (monitor_.suspects(w) &&
+          first_suspected_round_.find(w) == first_suspected_round_.end()) {
+        first_suspected_round_[w] = ctx.round();
+      }
+    }
+    ctx.broadcast({Word{1}});
+    if (ctx.round() >= 39) halt();
+  }
+
+  HeartbeatMonitor monitor_;
+  std::map<NodeId, std::int64_t> first_suspected_round_;
+};
+
+TEST(HeartbeatMonitor, NoSuspicionsOnReliableLinks) {
+  const graph::Graph g = graph::complete(5);
+  SyncNetwork net(g, 1);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<BeaconProcess>(3); });
+  net.run(40);
+  for (NodeId v = 0; v < 5; ++v) {
+    const auto& p = net.process_as<BeaconProcess>(v);
+    EXPECT_EQ(p.monitor_.suspicions_raised(), 0);
+    EXPECT_TRUE(p.monitor_.suspected().empty());
+  }
+}
+
+TEST(HeartbeatMonitor, DetectsCrashAfterExactlyTimeoutRounds) {
+  const std::int64_t timeout = 4;
+  const std::int64_t crash_round = 10;
+  const graph::Graph g = graph::complete(4);
+  SyncNetwork net(g, 1);
+  net.set_all_processes(
+      [&](NodeId) { return std::make_unique<BeaconProcess>(timeout); });
+  net.schedule_crash(3, crash_round);
+  net.run(40);
+  for (NodeId v = 0; v < 3; ++v) {
+    const auto& p = net.process_as<BeaconProcess>(v);
+    EXPECT_TRUE(p.monitor_.suspects(3));
+    // The crash at the start of crash_round drops 3's in-flight heartbeat,
+    // so the last one heard arrived in round crash_round - 1; suspicion
+    // fires once the gap exceeds the timeout.
+    ASSERT_TRUE(p.first_suspected_round_.count(3));
+    EXPECT_EQ(p.first_suspected_round_.at(3), crash_round + timeout);
+    EXPECT_EQ(p.monitor_.suspicions_raised(), 1);
+    EXPECT_EQ(p.monitor_.refuted_suspicions(), 0);
+  }
+}
+
+TEST(HeartbeatMonitor, SuspectsNeighborDeadFromTheStart) {
+  const std::int64_t timeout = 3;
+  const graph::Graph g = graph::path(2);
+  SyncNetwork net(g, 1);
+  net.set_all_processes(
+      [&](NodeId) { return std::make_unique<BeaconProcess>(timeout); });
+  net.crash(1);
+  net.run(40);
+  const auto& p = net.process_as<BeaconProcess>(0);
+  EXPECT_TRUE(p.monitor_.suspects(1));
+  // Grace treats round -1 as the last-heard round.
+  EXPECT_EQ(p.first_suspected_round_.at(1), timeout);
+}
+
+TEST(HeartbeatMonitor, FalseSuspicionsAreRefutedUnderLoss) {
+  // Aggressive timeout + heavy loss: false suspicions must occur, and every
+  // one of them must be withdrawn once the live neighbor is heard again.
+  const graph::Graph g = graph::complete(3);
+  SyncNetwork net(g, 1);
+  net.set_message_loss(0.6, 1234);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<BeaconProcess>(1); });
+  net.run(40);
+  std::int64_t raised = 0;
+  std::int64_t refuted = 0;
+  for (NodeId v = 0; v < 3; ++v) {
+    const auto& p = net.process_as<BeaconProcess>(v);
+    raised += p.monitor_.suspicions_raised();
+    refuted += p.monitor_.refuted_suspicions();
+  }
+  EXPECT_GT(raised, 0);
+  EXPECT_GT(refuted, 0);
+  EXPECT_LE(refuted, raised);
+}
+
+TEST(HeartbeatMonitor, RefutationClearsTheSuspectList) {
+  // Manually drive a monitor through a silence gap followed by a beacon.
+  const graph::Graph g = graph::path(2);
+
+  class QuietThenLoud final : public Process {
+   public:
+    void on_round(Context& ctx) override {
+      // Silent for rounds 0..5, beacons afterwards.
+      if (ctx.round() > 5) ctx.broadcast({Word{1}});
+      if (ctx.round() >= 19) halt();
+    }
+  };
+  class Watcher final : public Process {
+   public:
+    Watcher() : monitor_(HeartbeatMonitor::Options{2}) {}
+    void on_round(Context& ctx) override {
+      monitor_.observe(ctx);
+      ctx.broadcast({Word{1}});
+      if (ctx.round() >= 19) halt();
+    }
+    HeartbeatMonitor monitor_;
+  };
+
+  SyncNetwork net(g, 1);
+  net.set_process(0, std::make_unique<Watcher>());
+  net.set_process(1, std::make_unique<QuietThenLoud>());
+  net.run(25);
+  const auto& m = net.process_as<Watcher>(0).monitor_;
+  EXPECT_EQ(m.suspicions_raised(), 1);   // raised during the silence
+  EXPECT_EQ(m.refuted_suspicions(), 1);  // withdrawn at the first beacon
+  EXPECT_FALSE(m.suspects(1));
+}
+
+}  // namespace
+}  // namespace ftc::sim

@@ -317,6 +317,59 @@ TEST(SyncNetwork, ZeroLossLosesNothing) {
   EXPECT_EQ(net.messages_lost(), 0);
 }
 
+TEST(SyncNetwork, ScheduleCrashInThePastIsANoOp) {
+  const graph::Graph g = graph::complete(3);
+  SyncNetwork net(g, 1);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<GossipProcess>(10); });
+  net.run(5);                // now round_ == 5
+  net.schedule_crash(0, 3);  // in the past: silently dropped
+  net.run(10);
+  EXPECT_FALSE(net.crashed(0));
+  EXPECT_EQ(net.live_count(), 3);
+}
+
+TEST(SyncNetwork, ScheduleCrashOnCrashedNodeIsANoOp) {
+  const graph::Graph g = graph::complete(3);
+  SyncNetwork net(g, 1);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<GossipProcess>(10); });
+  net.crash(2);
+  net.schedule_crash(2, 4);  // already dead: dropped, not double-applied
+  net.crash(2);              // idempotent direct crash
+  net.run(12);
+  EXPECT_TRUE(net.crashed(2));
+  EXPECT_EQ(net.live_count(), 2);
+}
+
+TEST(SyncNetwork, RecoveryRestartsWithFreshProcess) {
+  const graph::Graph g = graph::complete(3);
+  SyncNetwork net(g, 1);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<CountingProcess>(40); });
+  net.schedule_crash(1, 5);
+  net.schedule_recovery(1, 20, std::make_unique<CountingProcess>(40));
+  net.run(40);
+  EXPECT_FALSE(net.crashed(1));
+  // The fresh process only ran rounds 20..39.
+  EXPECT_EQ(net.process_as<CountingProcess>(1).executed_, 20);
+  EXPECT_EQ(net.process_as<CountingProcess>(0).executed_, 40);
+}
+
+TEST(SyncNetwork, PendingRecoveryKeepsTheRunAlive) {
+  // Both nodes halt early; a scheduled rejoin later must still execute even
+  // though no live process is running in between.
+  const graph::Graph g = graph::path(2);
+  SyncNetwork net(g, 1);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<CountingProcess>(2); });
+  net.schedule_crash(1, 3);
+  net.schedule_recovery(1, 8, std::make_unique<CountingProcess>(4));
+  const std::int64_t rounds = net.run(30);
+  EXPECT_GE(rounds, 12);  // reached round 8 + 4 executions of the rejoin
+  EXPECT_EQ(net.process_as<CountingProcess>(1).executed_, 4);
+}
+
 TEST(SyncNetwork, LossIsDeterministicPerSeed) {
   const graph::Graph g = graph::complete(10);
   auto run_once = [&](std::uint64_t loss_seed) {
