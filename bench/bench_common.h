@@ -7,6 +7,7 @@
 //     reproduced (see DESIGN.md section 3 and EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -18,6 +19,30 @@
 #include "util/table.h"
 
 namespace ftc::bench {
+
+/// Monotonic stopwatch for wall-clock measurement.
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Resets the stopwatch and returns the elapsed seconds up to now.
+  double restart() {
+    const auto now = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Collects `seeds` samples of `measure(seed)` and summarizes them.
 inline util::Summary over_seeds(
@@ -33,19 +58,26 @@ inline util::Summary over_seeds(
 
 /// Emits the table to stdout and, when the writer is open, mirrors every
 /// data row into the CSV (the caller writes rows into both).
+///
+/// Every table automatically gains a trailing `wall_s` column: the
+/// wall-clock seconds (steady_clock) spent since the previous row was
+/// emitted, i.e. the cost of producing this row's measurements. Existing
+/// experiment binaries get the timing column without any changes.
 struct Output {
   util::Table table;
   util::CsvWriter csv;
+  WallClock row_clock;
 
   Output(std::vector<std::string> header, const util::Args& args)
-      : table(header) {
+      : table(with_wall_column(header)) {
     const std::string path = args.get_string("csv", "");
     if (!path.empty()) {
-      csv = util::CsvWriter(path, header);
+      csv = util::CsvWriter(path, with_wall_column(header));
     }
   }
 
   void row(std::vector<std::string> cells) {
+    cells.push_back(util::fmt(row_clock.restart()));
     csv.write_row(cells);
     table.add_row(std::move(cells));
   }
@@ -55,6 +87,13 @@ struct Output {
   void print(const std::string& title) {
     table.print(std::cout, title);
     std::cout.flush();
+  }
+
+ private:
+  static std::vector<std::string> with_wall_column(
+      std::vector<std::string> header) {
+    header.push_back("wall_s");
+    return header;
   }
 };
 

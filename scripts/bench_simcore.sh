@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_simcore.json: Release-build the simulator-core benchmark
+# and run it on the standard size ladder (1e3, 1e4, 1e5 nodes).
+#
+#   scripts/bench_simcore.sh [build-dir]    (default: build)
+# Extra arguments after the build dir are passed through to the bench, e.g.
+#   scripts/bench_simcore.sh build --sizes=1000 --threads=4
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_p1_simcore
+"$BUILD_DIR/bench/bench_p1_simcore" --json=BENCH_simcore.json "$@"

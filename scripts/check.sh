@@ -1,16 +1,34 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure a separate ASan+UBSan build tree, build
-# everything, and run the full test suite under the sanitizers. Any leak,
-# overflow, or UB aborts the run with a nonzero exit.
+# Sanitizer gate: configure a separate sanitizer build tree, build
+# everything, and run tests under the sanitizers. Any leak, overflow, UB,
+# or data race aborts the run with a nonzero exit.
 #
-#   scripts/check.sh [build-dir]        (default: build-asan)
+#   scripts/check.sh [build-dir]            ASan+UBSan over the full suite
+#                                           (default build dir: build-asan)
+#   FTC_SANITIZE=thread scripts/check.sh    TSan over the parallel round
+#                                           engine tests (default build dir:
+#                                           build-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
+MODE="${FTC_SANITIZE:-address}"
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DFTC_SANITIZE=ON
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if [ "$MODE" = "thread" ]; then
+  BUILD_DIR="${1:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFTC_SANITIZE=thread
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target ftc_tests bench_p1_simcore
+  # The concurrency surface: the thread pool itself, the determinism suite
+  # (which drives SyncNetwork at many widths), and the simcore bench smoke
+  # (which runs the parallel engine against a live workload).
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'ThreadPool|ParallelDeterminism|smoke_p1'
+else
+  BUILD_DIR="${1:-build-asan}"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFTC_SANITIZE=address
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

@@ -67,13 +67,13 @@ void AsyncNetwork::send_envelope(NodeId from, NodeId to, Envelope env,
 }
 
 void AsyncNetwork::backend_send(NodeId from, NodeId to,
-                                std::vector<Word> words) {
+                                std::span<const Word> words) {
   // Called from within execute_pulse() via Context::send.
   assert(from == executing_);
   Envelope env;
   env.pulse = executing_pulse_;
   env.has_payload = true;
-  env.words = std::move(words);
+  env.words.assign(words.begin(), words.end());
   states_[static_cast<std::size_t>(from)]
       .sent_to[neighbor_index(from, to)] = true;
   send_envelope(from, to, std::move(env), executing_time_);
@@ -132,17 +132,25 @@ void AsyncNetwork::execute_pulse(NodeId v, std::int64_t now) {
   assert(process != nullptr && !process->halted());
 
   // Assemble the inbox: payload envelopes tagged pulse-1, sorted by sender
-  // (matching SyncNetwork's deterministic order).
+  // (matching SyncNetwork's deterministic order). The stored payloads own
+  // their words; `inbox` holds non-owning views valid through on_round().
+  std::vector<StoredMessage> stored;
   std::vector<Message> inbox;
   if (state.pulse > 0) {
     auto it = state.payload_by_pulse.find(state.pulse - 1);
     if (it != state.payload_by_pulse.end()) {
-      inbox = std::move(it->second);
+      stored = std::move(it->second);
       state.payload_by_pulse.erase(it);
     }
     state.envelopes_by_pulse.erase(state.pulse - 1);
-    std::sort(inbox.begin(), inbox.end(),
-              [](const Message& a, const Message& b) { return a.from < b.from; });
+    std::sort(stored.begin(), stored.end(),
+              [](const StoredMessage& a, const StoredMessage& b) {
+                return a.from < b.from;
+              });
+    inbox.reserve(stored.size());
+    for (const StoredMessage& msg : stored) {
+      inbox.push_back(Message{msg.from, WordSpan(msg.words)});
+    }
   }
 
   std::fill(state.sent_to.begin(), state.sent_to.end(), false);
@@ -155,7 +163,7 @@ void AsyncNetwork::execute_pulse(NodeId v, std::int64_t now) {
   ctx.self_ = v;
   ctx.round_ = state.pulse;
   ctx.rng_ = &rngs_[static_cast<std::size_t>(v)];
-  ctx.inbox_ = &inbox;
+  ctx.inbox_ = {inbox.data(), inbox.size()};
   process->on_round(ctx);
 
   executing_ = -1;
@@ -195,7 +203,7 @@ void AsyncNetwork::deliver(const DeliveryEvent& event) {
     ha = std::min(ha, env.pulse);
   }
   if (env.has_payload) {
-    Message msg;
+    StoredMessage msg;
     msg.from = env.from;
     msg.words = env.words;
     state.payload_by_pulse[env.pulse].push_back(std::move(msg));

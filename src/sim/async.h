@@ -132,7 +132,16 @@ class AsyncNetwork final : public NetworkBackend {
     return udg_;
   }
   void backend_send(graph::NodeId from, graph::NodeId to,
-                    std::vector<Word> words) override;
+                    std::span<const Word> words) override;
+
+  /// A payload buffered at the receiver until its pulse executes. Unlike
+  /// the synchronous engine's arena-backed Message views, envelopes can sit
+  /// across many virtual-time steps, so the words are owned here and only
+  /// wrapped as Message views for the duration of the on_round() call.
+  struct StoredMessage {
+    graph::NodeId from = -1;
+    std::vector<Word> words;
+  };
 
   /// An envelope in flight or buffered at the receiver.
   struct Envelope {
@@ -166,7 +175,7 @@ class AsyncNetwork final : public NetworkBackend {
     std::int64_t crash_pulse = std::numeric_limits<std::int64_t>::max();
     bool crash_announced = false;  ///< halt markers already sent on v's links
     // Envelopes buffered per pulse tag (payloads only; markers counted).
-    std::map<std::int64_t, std::vector<Message>> payload_by_pulse;
+    std::map<std::int64_t, std::vector<StoredMessage>> payload_by_pulse;
     std::map<std::int64_t, std::int64_t> envelopes_by_pulse;
     // halt_after[j-index] = last pulse neighbor j participates in.
     std::vector<std::int64_t> halt_after;

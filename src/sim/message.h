@@ -2,13 +2,22 @@
 //
 // The paper restricts messages to O(log n) bits, i.e. a constant number of
 // "words" where one word holds a node identifier, a bounded counter, or a
-// quantized numeric value. We model a message as a short vector of 64-bit
+// quantized numeric value. We model a message as a short sequence of 64-bit
 // words and have the simulator account for the maximum words-per-message, so
 // the experiments can verify each algorithm's O(log n)-bits claim (a
 // constant word count).
+//
+// Payload storage is owned by the network, not by the Message: the
+// synchronous engine writes every payload once into a per-round arena and
+// hands processes WordSpan views into it (broadcasts share one payload
+// across all receivers). A Message is therefore only valid for the duration
+// of the `on_round()` call that delivered it.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "graph/graph.h"
@@ -18,10 +27,47 @@ namespace ftc::sim {
 /// One word of payload: models O(log n) bits.
 using Word = std::int64_t;
 
-/// A message in flight. `from` is filled in by the network, not the sender.
+/// Non-owning view of a message payload (a span with vector-flavored
+/// accessors, so process code written against std::vector<Word> still
+/// compiles). The referenced words live in the network's round arena.
+class WordSpan {
+ public:
+  constexpr WordSpan() noexcept = default;
+  constexpr WordSpan(const Word* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+  WordSpan(const std::vector<Word>& words) noexcept  // NOLINT(runtime/explicit)
+      : data_(words.data()), size_(words.size()) {}
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] constexpr const Word* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr const Word* begin() const noexcept { return data_; }
+  [[nodiscard]] constexpr const Word* end() const noexcept {
+    return data_ + size_;
+  }
+  [[nodiscard]] constexpr Word operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  /// Bounds-checked access, matching std::vector::at.
+  [[nodiscard]] Word at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("WordSpan::at");
+    return data_[i];
+  }
+  [[nodiscard]] Word front() const noexcept { return (*this)[0]; }
+  [[nodiscard]] Word back() const noexcept { return (*this)[size_ - 1]; }
+
+ private:
+  const Word* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// A delivered message. `from` is filled in by the network, not the sender.
+/// Valid only during the on_round() call it was delivered to (the payload
+/// view points into the network's round arena).
 struct Message {
   graph::NodeId from = -1;
-  std::vector<Word> words;
+  WordSpan words;
 };
 
 /// Fixed-point encoding for fractional values carried in messages.

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace ftc::sim {
 
@@ -32,15 +33,20 @@ double Context::distance_to(graph::NodeId neighbor) const {
   return net_->backend_udg()->distance(self_, neighbor);
 }
 
-void Context::send(graph::NodeId to, std::vector<Word> words) {
+void Context::send(graph::NodeId to, std::span<const Word> words) {
   assert(net_->backend_graph().has_edge(self_, to) &&
          "send: destination must be a neighbor");
-  net_->backend_send(self_, to, std::move(words));
+  net_->backend_send(self_, to, words);
 }
 
-void Context::broadcast(const std::vector<Word>& words) {
-  for (graph::NodeId w : neighbors()) {
-    send(w, words);
+void Context::broadcast(std::span<const Word> words) {
+  net_->backend_broadcast(self_, words);
+}
+
+void NetworkBackend::backend_broadcast(graph::NodeId from,
+                                       std::span<const Word> words) {
+  for (graph::NodeId w : backend_graph().neighbors(from)) {
+    backend_send(from, w, words);
   }
 }
 
@@ -49,8 +55,16 @@ SyncNetwork::SyncNetwork(const graph::Graph& g, std::uint64_t seed)
   const auto n = static_cast<std::size_t>(g.n());
   processes_.resize(n);
   inboxes_.resize(n);
-  outboxes_.resize(n);
+  out_cur_.resize(n);
+  out_prev_.resize(n);
   crashed_.assign(n, false);
+  live_count_ = g.n();
+  arena_cur_.resize(1);
+  arena_prev_.resize(1);
+  shard_senders_cur_.resize(1);
+  shard_senders_prev_.resize(1);
+  shard_stats_.resize(1);
+  shard_block_ = std::max<std::size_t>(n, 1);
   rngs_.reserve(n);
   const util::Rng root(seed);
   for (std::size_t v = 0; v < n; ++v) {
@@ -63,23 +77,88 @@ SyncNetwork::SyncNetwork(const geom::UnitDiskGraph& udg, std::uint64_t seed)
   udg_ = &udg;
 }
 
+SyncNetwork::~SyncNetwork() = default;
+
+void SyncNetwork::set_threads(int threads) {
+  if (threads <= 0) threads = util::ThreadPool::hardware_threads();
+  threads_ = threads;
+  if (threads_ == 1) {
+    pool_.reset();
+  } else if (pool_ == nullptr || pool_->size() != threads_) {
+    pool_ = std::make_unique<util::ThreadPool>(threads_);
+  }
+  const auto n = static_cast<std::size_t>(graph_->n());
+  const auto shards = static_cast<std::size_t>(threads_);
+  shard_block_ = std::max<std::size_t>(1, (n + shards - 1) / shards);
+  // Only the (empty between rounds) current generation is resized; the
+  // previous generation still backs live inbox views and keeps its layout
+  // until the next round-end swap recycles it.
+  arena_cur_.resize(shards);
+  shard_senders_cur_.resize(shards);
+  shard_stats_.resize(shards);
+}
+
 void SyncNetwork::set_process(graph::NodeId v,
                               std::unique_ptr<Process> process) {
   assert(v >= 0 && v < graph_->n());
+  if (counts_as_running(v)) --running_count_;
   processes_[static_cast<std::size_t>(v)] = std::move(process);
+  if (counts_as_running(v)) ++running_count_;
 }
 
 void SyncNetwork::backend_send(graph::NodeId from, graph::NodeId to,
-                               std::vector<Word> words) {
-  metrics_.messages_sent += 1;
-  metrics_.words_sent += static_cast<std::int64_t>(words.size());
-  metrics_.max_message_words =
-      std::max(metrics_.max_message_words,
-               static_cast<std::int64_t>(words.size()));
-  Message msg;
-  msg.from = from;
-  msg.words = std::move(words);
-  outboxes_[static_cast<std::size_t>(to)].push_back(std::move(msg));
+                               std::span<const Word> words) {
+  const std::uint32_t s = shard_of(from);
+  auto& box = out_cur_[static_cast<std::size_t>(from)];
+#ifndef NDEBUG
+  for (const OutEntry& e : box) {
+    assert(e.to != to && "send: at most one message per neighbor per round");
+  }
+#endif
+  auto& arena = arena_cur_[s];
+  assert(arena.size() + words.size() <
+         std::numeric_limits<std::uint32_t>::max());
+  if (box.empty()) shard_senders_cur_[s].push_back(from);
+  const auto offset = static_cast<std::uint32_t>(arena.size());
+  arena.insert(arena.end(), words.begin(), words.end());
+  box.push_back({to, s, offset, static_cast<std::uint32_t>(words.size())});
+  ShardStats& st = shard_stats_[s];
+  st.messages += 1;
+  st.words += static_cast<std::int64_t>(words.size());
+  st.max_words =
+      std::max(st.max_words, static_cast<std::int64_t>(words.size()));
+}
+
+void SyncNetwork::backend_broadcast(graph::NodeId from,
+                                    std::span<const Word> words) {
+  const auto nbrs = graph_->neighbors(from);
+  if (nbrs.empty()) return;
+  const std::uint32_t s = shard_of(from);
+  auto& box = out_cur_[static_cast<std::size_t>(from)];
+#ifndef NDEBUG
+  for (const OutEntry& e : box) {
+    for (NodeId w : nbrs) {
+      assert(e.to != w &&
+             "broadcast: at most one message per neighbor per round");
+    }
+  }
+#endif
+  auto& arena = arena_cur_[s];
+  assert(arena.size() + words.size() <
+         std::numeric_limits<std::uint32_t>::max());
+  if (box.empty()) shard_senders_cur_[s].push_back(from);
+  const auto offset = static_cast<std::uint32_t>(arena.size());
+  const auto len = static_cast<std::uint32_t>(words.size());
+  // The payload is written once; every receiver's view aliases it.
+  arena.insert(arena.end(), words.begin(), words.end());
+  for (NodeId w : nbrs) {
+    box.push_back({w, s, offset, len});
+  }
+  ShardStats& st = shard_stats_[s];
+  const auto deg = static_cast<std::int64_t>(nbrs.size());
+  st.messages += deg;
+  st.words += deg * static_cast<std::int64_t>(len);
+  st.max_words = std::max(st.max_words, static_cast<std::int64_t>(len));
 }
 
 void SyncNetwork::apply_scheduled_events() {
@@ -107,41 +186,66 @@ void SyncNetwork::crash(graph::NodeId v) {
   assert(v >= 0 && v < graph_->n());
   const auto idx = static_cast<std::size_t>(v);
   if (crashed_[idx]) return;
+  if (counts_as_running(v)) --running_count_;
   crashed_[idx] = true;
+  --live_count_;
   inboxes_[idx].clear();
-  // Drop this node's in-flight traffic: both what it queued this round and
-  // what was delivered but not yet processed by receivers.
-  for (auto& box : outboxes_) {
-    std::erase_if(box, [v](const Message& m) { return m.from == v; });
+  // Drop this node's in-flight traffic without scanning every queue: what
+  // it queued this round is its own outbox, and what was already delivered
+  // is indexed by out_prev_[v] (inboxes are sorted by sender, so each
+  // removal is a binary search).
+  out_cur_[idx].clear();
+  for (const OutEntry& e : out_prev_[idx]) {
+    auto& box = inboxes_[static_cast<std::size_t>(e.to)];
+    auto it = std::lower_bound(
+        box.begin(), box.end(), v,
+        [](const Message& m, graph::NodeId id) { return m.from < id; });
+    auto last = it;
+    while (last != box.end() && last->from == v) ++last;
+    box.erase(it, last);
   }
-  for (auto& box : inboxes_) {
-    std::erase_if(box, [v](const Message& m) { return m.from == v; });
-  }
+  out_prev_[idx].clear();
+  check_counters();
 }
 
 void SyncNetwork::recover(graph::NodeId v, std::unique_ptr<Process> process) {
   assert(v >= 0 && v < graph_->n());
   const auto idx = static_cast<std::size_t>(v);
-  crashed_[idx] = false;
+  if (counts_as_running(v)) --running_count_;
+  if (crashed_[idx]) {
+    crashed_[idx] = false;
+    ++live_count_;
+  }
   inboxes_[idx].clear();
-  outboxes_[idx].clear();
+  out_cur_[idx].clear();
   processes_[idx] = std::move(process);
+  if (counts_as_running(v)) ++running_count_;
+  check_counters();
 }
 
 graph::NodeId SyncNetwork::live_count() const noexcept {
-  graph::NodeId live = 0;
-  for (bool c : crashed_) {
-    if (!c) ++live;
-  }
-  return live;
+  check_counters();
+  return live_count_;
 }
 
-bool SyncNetwork::step() {
-  apply_scheduled_events();
-
-  // Run every live, unhalted process against the inbox delivered at the end
-  // of the previous round.
+void SyncNetwork::check_counters() const noexcept {
+#ifndef NDEBUG
+  graph::NodeId live = 0;
+  std::int64_t running = 0;
   for (NodeId v = 0; v < graph_->n(); ++v) {
+    if (!crashed_[static_cast<std::size_t>(v)]) ++live;
+    if (counts_as_running(v)) ++running;
+  }
+  assert(live == live_count_ && "live_count_ out of sync with crash flags");
+  assert(running == running_count_ &&
+         "running_count_ out of sync with process states");
+#endif
+}
+
+void SyncNetwork::execute_nodes(graph::NodeId begin, graph::NodeId end,
+                                int shard) {
+  ShardStats& stats = shard_stats_[static_cast<std::size_t>(shard)];
+  for (NodeId v = begin; v < end; ++v) {
     const auto idx = static_cast<std::size_t>(v);
     Process* p = processes_[idx].get();
     if (p == nullptr || p->halted() || crashed_[idx]) continue;
@@ -151,44 +255,96 @@ bool SyncNetwork::step() {
     ctx.self_ = v;
     ctx.round_ = round_;
     ctx.rng_ = &rngs_[idx];
-    ctx.inbox_ = &inboxes_[idx];
+    ctx.inbox_ = {inboxes_[idx].data(), inboxes_[idx].size()};
     p->on_round(ctx);
+    if (p->halted()) ++stats.newly_halted;
+  }
+}
+
+void SyncNetwork::deliver_round() {
+  // Recycle last round's inboxes (only nodes that actually received).
+  for (NodeId v : receivers_) {
+    inboxes_[static_cast<std::size_t>(v)].clear();
+  }
+  receivers_.clear();
+
+  // Senders ascending (shards cover ascending ranges, each list ascending),
+  // so every inbox is built already sorted by sender. The loss stream is
+  // consumed in this same fixed order for every thread count.
+  const bool lossy = message_loss_ > 0.0;
+  for (const auto& senders : shard_senders_cur_) {
+    for (NodeId from : senders) {
+      for (const OutEntry& e : out_cur_[static_cast<std::size_t>(from)]) {
+        const auto to = static_cast<std::size_t>(e.to);
+        if (crashed_[to]) continue;  // crashed receivers drop silently
+        if (lossy && loss_rng_.bernoulli(message_loss_)) {
+          ++messages_lost_;
+          continue;
+        }
+        auto& box = inboxes_[to];
+        if (box.empty()) receivers_.push_back(e.to);
+        box.push_back(Message{
+            from, WordSpan(arena_cur_[e.shard].data() + e.offset, e.len)});
+      }
+    }
+  }
+}
+
+bool SyncNetwork::step() {
+  apply_scheduled_events();
+
+  // Run every live, unhalted process against the inbox delivered at the end
+  // of the previous round. Shards stage into disjoint state; everything
+  // below the parallel region is sequential and shard-order merged, so the
+  // outcome is independent of the thread count.
+  const int shards = static_cast<int>(arena_cur_.size());
+  for (ShardStats& st : shard_stats_) st = ShardStats{};
+  const NodeId n = graph_->n();
+  auto run_shard = [&](int s) {
+    const auto lo = static_cast<std::size_t>(s) * shard_block_;
+    const auto hi = std::min(lo + shard_block_, static_cast<std::size_t>(n));
+    execute_nodes(static_cast<NodeId>(std::min(lo, static_cast<std::size_t>(n))),
+                  static_cast<NodeId>(hi), s);
+  };
+  if (pool_ == nullptr) {
+    for (int s = 0; s < shards; ++s) run_shard(s);
+  } else {
+    pool_->run(shards, run_shard);
+  }
+  for (const ShardStats& st : shard_stats_) {
+    metrics_.messages_sent += st.messages;
+    metrics_.words_sent += st.words;
+    metrics_.max_message_words =
+        std::max(metrics_.max_message_words, st.max_words);
+    running_count_ -= st.newly_halted;
   }
 
-  // Deliver: outboxes become next round's inboxes. Crashed receivers drop.
-  for (NodeId v = 0; v < graph_->n(); ++v) {
-    const auto idx = static_cast<std::size_t>(v);
-    inboxes_[idx].clear();
-    if (crashed_[idx]) {
-      outboxes_[idx].clear();
-      continue;
-    }
-    inboxes_[idx] = std::move(outboxes_[idx]);
-    outboxes_[idx].clear();
-    if (message_loss_ > 0.0) {
-      std::erase_if(inboxes_[idx], [this](const Message&) {
-        if (loss_rng_.bernoulli(message_loss_)) {
-          ++messages_lost_;
-          return true;
-        }
-        return false;
-      });
-    }
-    // Deterministic processing order for receivers regardless of send order.
-    std::sort(inboxes_[idx].begin(), inboxes_[idx].end(),
-              [](const Message& a, const Message& b) { return a.from < b.from; });
+  deliver_round();
+
+  // Generation swap: the arena just written now backs the new inboxes; the
+  // one delivered two rounds ago is recycled for the next round's sends.
+  std::swap(arena_cur_, arena_prev_);
+  std::swap(out_cur_, out_prev_);
+  std::swap(shard_senders_cur_, shard_senders_prev_);
+  // Clear before resizing: set_threads() may have shrunk the shard count
+  // since this generation was written, and truncating first would orphan
+  // populated outboxes in the dropped shards.
+  for (auto& senders : shard_senders_cur_) {
+    for (NodeId v : senders) out_cur_[static_cast<std::size_t>(v)].clear();
+    senders.clear();
   }
+  for (auto& arena : arena_cur_) arena.clear();
+  const auto want_shards = static_cast<std::size_t>(threads_);
+  arena_cur_.resize(want_shards);
+  shard_senders_cur_.resize(want_shards);
+  shard_stats_.resize(want_shards);
 
   ++round_;
   metrics_.rounds = round_;
 
-  for (NodeId v = 0; v < graph_->n(); ++v) {
-    const auto idx = static_cast<std::size_t>(v);
-    const Process* p = processes_[idx].get();
-    if (p != nullptr && !p->halted() && !crashed_[idx]) return true;
-  }
-  // Nobody is running now, but pending rejoins can still wake the network.
-  return !scheduled_recoveries_.empty();
+  check_counters();
+  // Nobody running can still mean progress: pending rejoins wake the net.
+  return running_count_ > 0 || !scheduled_recoveries_.empty();
 }
 
 std::int64_t SyncNetwork::run(std::int64_t max_rounds) {

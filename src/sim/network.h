@@ -25,17 +25,36 @@
 // node retains no volatile protocol state. Rejoined nodes start with an
 // empty inbox; their neighbors are not notified (detecting the rejoin is
 // the protocols' job, e.g. via sim/heartbeat.h).
+//
+// Throughput architecture (see DESIGN.md "Simulator performance"):
+//   * Message plane: payloads live in per-round word arenas; an inbox is a
+//     flat list of (sender, payload-view) pairs pointing into the arena of
+//     the round the message was sent in. A broadcast writes its payload
+//     once and every receiver's view aliases it — no per-neighbor copies.
+//   * Delivery iterates senders in ascending id order, so every inbox comes
+//     out sorted by sender with no per-inbox sort.
+//   * Parallel round engine: nodes are sharded over a persistent thread
+//     pool; each shard stages sends into its own arena and per-sender
+//     outboxes, and the sequential delivery/merge pass is identical for
+//     every thread count — results are bitwise equal to sequential
+//     execution for the same (graph, processes, seed).
+//   * Liveness/termination are maintained counters (no O(n) scans), and
+//     in-flight messages are indexed by sender so crash() drops them
+//     without scanning every queue.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "geom/udg.h"
 #include "graph/graph.h"
 #include "sim/message.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ftc::sim {
 
@@ -47,6 +66,8 @@ struct Metrics {
   std::int64_t messages_sent = 0;     ///< total messages
   std::int64_t words_sent = 0;        ///< total payload words
   std::int64_t max_message_words = 0; ///< largest single message
+
+  friend bool operator==(const Metrics&, const Metrics&) = default;
 };
 
 /// Backend interface through which a Context reaches its network. Both the
@@ -62,9 +83,15 @@ class NetworkBackend {
   /// Embedding when built from a UDG; nullptr otherwise.
   [[nodiscard]] virtual const geom::UnitDiskGraph* backend_udg()
       const noexcept = 0;
-  /// Queues a message for delivery (next round / next pulse).
+  /// Queues a message for delivery (next round / next pulse). The words are
+  /// copied out before returning; the span need not outlive the call.
   virtual void backend_send(graph::NodeId from, graph::NodeId to,
-                            std::vector<Word> words) = 0;
+                            std::span<const Word> words) = 0;
+  /// Queues one message per neighbor of `from`, all carrying `words`. The
+  /// default forwards to backend_send per neighbor; SyncNetwork overrides it
+  /// to store the payload once and fan out views.
+  virtual void backend_broadcast(graph::NodeId from,
+                                 std::span<const Word> words);
 };
 
 /// The per-round view a process gets of its node. Provided by the network;
@@ -94,18 +121,26 @@ class Context {
   [[nodiscard]] util::Rng& rng() noexcept { return *rng_; }
 
   /// Messages delivered to this node at the start of this round (sent by
-  /// neighbors in the previous round).
-  [[nodiscard]] const std::vector<Message>& inbox() const noexcept {
-    return *inbox_;
+  /// neighbors in the previous round), sorted by sender id. The views are
+  /// only valid for the duration of this on_round() call.
+  [[nodiscard]] std::span<const Message> inbox() const noexcept {
+    return inbox_;
   }
 
   /// Sends `words` to neighbor `to` (delivered next round). Precondition:
   /// `to` is adjacent to self(). At most one message per neighbor per round
   /// (the synchronous model); sending twice to the same neighbor asserts.
-  void send(graph::NodeId to, std::vector<Word> words);
+  void send(graph::NodeId to, std::span<const Word> words);
+  void send(graph::NodeId to, std::initializer_list<Word> words) {
+    send(to, std::span<const Word>(words.begin(), words.size()));
+  }
 
-  /// Sends a copy of `words` to every neighbor.
-  void broadcast(const std::vector<Word>& words);
+  /// Sends `words` to every neighbor. The payload is stored once and shared
+  /// by all receivers (metrics still account one message per neighbor).
+  void broadcast(std::span<const Word> words);
+  void broadcast(std::initializer_list<Word> words) {
+    broadcast(std::span<const Word>(words.begin(), words.size()));
+  }
 
  private:
   friend class SyncNetwork;
@@ -114,7 +149,7 @@ class Context {
   graph::NodeId self_ = -1;
   std::int64_t round_ = 0;
   util::Rng* rng_ = nullptr;
-  const std::vector<Message>* inbox_ = nullptr;
+  std::span<const Message> inbox_;
 };
 
 /// Base class for per-node programs.
@@ -151,6 +186,7 @@ class SyncNetwork final : public NetworkBackend {
 
   SyncNetwork(const SyncNetwork&) = delete;
   SyncNetwork& operator=(const SyncNetwork&) = delete;
+  ~SyncNetwork() override;
 
   /// Installs the process for node v (replacing any previous one).
   void set_process(graph::NodeId v, std::unique_ptr<Process> process);
@@ -162,6 +198,17 @@ class SyncNetwork final : public NetworkBackend {
       set_process(v, factory(v));
     }
   }
+
+  /// Selects the parallel round engine: on_round() calls are sharded over
+  /// `threads` persistent worker threads (1 = sequential, the default; 0 =
+  /// one per hardware thread). Results are bitwise identical for every
+  /// value — same process states, metrics, inbox orders, and RNG draws —
+  /// because rounds stage per-shard state that is merged in a fixed order.
+  /// May be called between rounds at any time.
+  void set_threads(int threads);
+
+  /// Execution streams step() currently uses.
+  [[nodiscard]] int threads() const noexcept { return threads_; }
 
   /// Runs rounds until every live process has halted or `max_rounds` rounds
   /// have executed. Returns the number of rounds executed in this call.
@@ -211,7 +258,8 @@ class SyncNetwork final : public NetworkBackend {
     return crashed_[static_cast<std::size_t>(v)];
   }
 
-  /// Number of currently live (non-crashed) nodes.
+  /// Number of currently live (non-crashed) nodes. O(1): maintained as a
+  /// counter, cross-checked against a scan in debug builds.
   [[nodiscard]] graph::NodeId live_count() const noexcept;
 
   /// The process installed at node v, downcast to T (checked by assert in
@@ -238,6 +286,26 @@ class SyncNetwork final : public NetworkBackend {
  private:
   friend class Context;
 
+  /// One queued message: `to` plus the payload's location in the sending
+  /// shard's arena. Kept per sender, which (a) makes sender-ascending
+  /// delivery — and therefore sorted inboxes — a linear merge, and (b) lets
+  /// crash() find a sender's in-flight messages without scanning.
+  struct OutEntry {
+    graph::NodeId to = -1;
+    std::uint32_t shard = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// Per-shard accumulators staged during the parallel phase of a round and
+  /// merged sequentially afterwards (fixed order ⇒ determinism).
+  struct ShardStats {
+    std::int64_t messages = 0;
+    std::int64_t words = 0;
+    std::int64_t max_words = 0;
+    std::int64_t newly_halted = 0;
+  };
+
   // NetworkBackend:
   [[nodiscard]] const graph::Graph& backend_graph() const noexcept override {
     return *graph_;
@@ -247,18 +315,66 @@ class SyncNetwork final : public NetworkBackend {
     return udg_;
   }
   void backend_send(graph::NodeId from, graph::NodeId to,
-                    std::vector<Word> words) override;
+                    std::span<const Word> words) override;
+  void backend_broadcast(graph::NodeId from,
+                         std::span<const Word> words) override;
 
   void apply_scheduled_events();
+
+  /// Shard owning node v's sends this round.
+  [[nodiscard]] std::uint32_t shard_of(graph::NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(static_cast<std::size_t>(v) /
+                                      shard_block_);
+  }
+
+  /// Runs on_round() for every live, unhalted process in [begin, end).
+  void execute_nodes(graph::NodeId begin, graph::NodeId end, int shard);
+
+  /// Moves this round's outboxes into next round's inboxes (sender-major ⇒
+  /// sorted by sender), applying loss and crashed-receiver drops.
+  void deliver_round();
+
+  /// True iff v's process exists, has not halted, and v is live — i.e. v
+  /// contributes to running_count_.
+  [[nodiscard]] bool counts_as_running(graph::NodeId v) const noexcept {
+    const auto idx = static_cast<std::size_t>(v);
+    return processes_[idx] != nullptr && !processes_[idx]->halted() &&
+           !crashed_[idx];
+  }
+
+  /// Debug-only O(n) cross-check of live_count_ / running_count_.
+  void check_counters() const noexcept;
 
   const graph::Graph* graph_ = nullptr;
   const geom::UnitDiskGraph* udg_ = nullptr;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<util::Rng> rngs_;
-  std::vector<std::vector<Message>> inboxes_;   // delivered this round
-  std::vector<std::vector<Message>> outboxes_;  // being sent this round
-  std::vector<bool> sent_to_;  // per-round guard: one message per edge
+
+  // Message plane. Double-buffered: processes read views into the `prev`
+  // generation (what was delivered to them) while their sends fill `cur`.
+  std::vector<std::vector<Message>> inboxes_;       // views into arena_prev_
+  std::vector<std::vector<Word>> arena_cur_;        // one per shard
+  std::vector<std::vector<Word>> arena_prev_;
+  std::vector<std::vector<OutEntry>> out_cur_;      // queued, per sender
+  std::vector<std::vector<OutEntry>> out_prev_;     // delivered, per sender
+  std::vector<ShardStats> shard_stats_;             // one per shard
+  // Nodes that sent this round, per shard in ascending id order (shards
+  // cover ascending contiguous ranges, so concatenating the lists in shard
+  // order enumerates all senders in ascending order — this is what makes
+  // delivery produce sorted inboxes in O(messages) with no sort, and lets
+  // the round-end cleanup touch only nodes that actually communicated).
+  std::vector<std::vector<graph::NodeId>> shard_senders_cur_;
+  std::vector<std::vector<graph::NodeId>> shard_senders_prev_;
+  std::vector<graph::NodeId> receivers_;  // nodes with a nonempty inbox
+
+  // Parallel engine.
+  int threads_ = 1;
+  std::size_t shard_block_ = 1;  ///< nodes per shard (ceil(n / shards))
+  std::unique_ptr<util::ThreadPool> pool_;
+
   std::vector<bool> crashed_;
+  graph::NodeId live_count_ = 0;      ///< nodes with crashed_[v] == false
+  std::int64_t running_count_ = 0;    ///< nodes where counts_as_running()
   std::vector<std::pair<std::int64_t, graph::NodeId>> scheduled_crashes_;
   struct ScheduledRecovery {
     std::int64_t round = 0;

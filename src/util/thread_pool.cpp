@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <cassert>
+
+namespace ftc::util {
+
+ThreadPool::ThreadPool(int threads) {
+  assert(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+int ThreadPool::hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::drain_tasks(const std::function<void(int)>& fn, int tasks) {
+  for (;;) {
+    int task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_task_ >= tasks) return;
+      task = next_task_++;
+    }
+    fn(task);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+      if (completed_ == tasks) job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    int tasks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = job_;
+      tasks = tasks_;
+    }
+    drain_tasks(*fn, tasks);
+  }
+}
+
+void ThreadPool::run(int tasks, const std::function<void(int)>& fn) {
+  assert(tasks >= 0);
+  if (tasks == 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    tasks_ = tasks;
+    next_task_ = 0;
+    completed_ = 0;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  drain_tasks(fn, tasks);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [&] { return completed_ == tasks_; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace ftc::util

@@ -1,0 +1,66 @@
+// Persistent worker pool for deterministic fork-join parallelism.
+//
+// The simulator's parallel round engine shards nodes across threads every
+// round; spawning threads per round would dominate the runtime, so the pool
+// keeps its workers alive across run() calls. run() is a strict barrier: it
+// dispatches `tasks` independent task indices to the workers (the calling
+// thread participates too) and returns only when every task has finished.
+//
+// Determinism contract: the pool itself imposes no ordering between tasks —
+// callers get reproducible results by making tasks write to disjoint,
+// task-indexed state and merging sequentially after run() returns. That is
+// exactly how SyncNetwork's parallel mode uses it (see network.h).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftc::util {
+
+/// Fixed-size fork-join pool. `threads` counts the calling thread, so a
+/// ThreadPool(4) spawns 3 workers and run() uses 4 execution streams.
+/// Not thread-safe: run() must not be called concurrently with itself.
+class ThreadPool {
+ public:
+  /// threads >= 1. ThreadPool(1) spawns no workers; run() executes inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution streams (spawned workers + the caller).
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(0), ..., fn(tasks - 1), each exactly once, distributed over the
+  /// pool. Blocks until all calls have returned. fn must not throw.
+  void run(int tasks, const std::function<void(int)>& fn);
+
+  /// Threads the hardware supports (>= 1); the default width for callers
+  /// that do not specify one.
+  [[nodiscard]] static int hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+  /// Claims and executes tasks of the current job until none remain.
+  void drain_tasks(const std::function<void(int)>& fn, int tasks);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  const std::function<void(int)>* job_ = nullptr;  // guarded by mutex_
+  int tasks_ = 0;                                  // guarded by mutex_
+  int next_task_ = 0;                              // guarded by mutex_
+  int completed_ = 0;                              // guarded by mutex_
+  std::uint64_t generation_ = 0;                   // guarded by mutex_
+  bool stop_ = false;                              // guarded by mutex_
+};
+
+}  // namespace ftc::util

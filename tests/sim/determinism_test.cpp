@@ -1,0 +1,228 @@
+// Determinism contract of the parallel round engine: for the same (graph,
+// processes, seed), SyncNetwork must produce bitwise-identical executions
+// for every thread count — identical Metrics, identical per-node final
+// states, and identical inbox orderings — including under crash, churn, and
+// message-loss schedules compiled from a FaultPlan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algo/baseline/luby_process.h"
+#include "geom/udg.h"
+#include "graph/generators.h"
+#include "sim/fault.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace ftc::sim {
+namespace {
+
+using graph::NodeId;
+
+/// Records every delivered message verbatim — (round, sender, words) in
+/// delivery order — so two runs can be compared for identical inbox
+/// orderings, not just identical final states. Broadcasts RNG-derived
+/// payloads to keep the message plane and the private streams busy.
+class RecordingProcess final : public Process {
+ public:
+  explicit RecordingProcess(std::int64_t rounds) : rounds_(rounds) {}
+
+  void on_round(Context& ctx) override {
+    for (const Message& msg : ctx.inbox()) {
+      log_.push_back(ctx.round());
+      log_.push_back(msg.from);
+      for (Word w : msg.words) log_.push_back(w);
+    }
+    const auto draw = static_cast<Word>(ctx.rng()() & 0xFFFF);
+    ctx.broadcast({draw, static_cast<Word>(ctx.round())});
+    if (ctx.round() + 1 >= rounds_) halt();
+  }
+
+  std::vector<std::int64_t> log_;
+
+ private:
+  std::int64_t rounds_;
+};
+
+struct RunResult {
+  Metrics metrics;
+  std::int64_t messages_lost = 0;
+  std::int64_t rounds_executed = 0;
+  NodeId live = 0;
+  std::vector<bool> crashed;
+  std::vector<std::vector<std::int64_t>> logs;  // per node
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+RunResult collect(SyncNetwork& net, std::int64_t executed) {
+  RunResult r;
+  r.metrics = net.metrics();
+  r.messages_lost = net.messages_lost();
+  r.rounds_executed = executed;
+  r.live = net.live_count();
+  for (NodeId v = 0; v < net.graph().n(); ++v) {
+    r.crashed.push_back(net.crashed(v));
+    r.logs.push_back(net.process_as<RecordingProcess>(v).log_);
+  }
+  return r;
+}
+
+constexpr std::int64_t kRounds = 25;
+
+RunResult run_plain(const graph::Graph& g, std::uint64_t seed, int threads) {
+  SyncNetwork net(g, seed);
+  net.set_threads(threads);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<RecordingProcess>(kRounds); });
+  const auto executed = net.run(kRounds + 1);
+  return collect(net, executed);
+}
+
+TEST(ParallelDeterminism, PlainRunMatchesSequentialForEveryThreadCount) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 1234567ULL}) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::gnp(120, 0.08, rng);
+    const RunResult sequential = run_plain(g, seed, 1);
+    EXPECT_GT(sequential.metrics.messages_sent, 0);
+    for (int threads : {2, 3, 8}) {
+      const RunResult parallel = run_plain(g, seed, threads);
+      EXPECT_EQ(sequential, parallel)
+          << "seed " << seed << ", threads " << threads;
+    }
+  }
+}
+
+RunResult run_faulted(const geom::UnitDiskGraph& udg, std::uint64_t seed,
+                      int threads) {
+  SyncNetwork net(udg, seed);
+  net.set_threads(threads);
+  net.set_message_loss(0.15, seed ^ 0xC0FFEE);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<RecordingProcess>(kRounds); });
+  // Exercise every fault modality at once: background iid crashes, churn
+  // (crash + rejoin with reset state), and a targeted adversary strike.
+  FaultInjector injector(FaultPlan::iid_crashes(0.004, 0, 15)
+                             .then(FaultPlan::churn(0.01, 2, 6, 0, 18))
+                             .then(FaultPlan::targeted_by_degree(3, 5)),
+                         seed + 17);
+  injector.install(net, kRounds + 1, [](NodeId) {
+    return std::make_unique<RecordingProcess>(kRounds);
+  });
+  const auto executed = net.run(kRounds + 1);
+  return collect(net, executed);
+}
+
+TEST(ParallelDeterminism, FaultPlanScheduleMatchesSequential) {
+  for (std::uint64_t seed : {3ULL, 99ULL}) {
+    util::Rng rng(seed);
+    const auto udg = geom::uniform_udg_with_degree(150, 10.0, rng);
+    const RunResult sequential = run_faulted(udg, seed, 1);
+    // The fault schedule must actually bite for this test to mean anything.
+    EXPECT_GT(sequential.metrics.messages_sent, 0);
+    EXPECT_GT(sequential.messages_lost, 0);
+    for (int threads : {2, 5}) {
+      const RunResult parallel = run_faulted(udg, seed, threads);
+      EXPECT_EQ(sequential, parallel)
+          << "seed " << seed << ", threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ThreadCountMayChangeBetweenRounds) {
+  util::Rng rng(11);
+  const graph::Graph g = graph::gnp(90, 0.1, rng);
+  const RunResult sequential = run_plain(g, 11, 1);
+
+  SyncNetwork net(g, 11);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<RecordingProcess>(kRounds); });
+  std::int64_t executed = 0;
+  // Reconfigure the engine width mid-run; the execution must not notice.
+  for (const int threads : {1, 4, 2, 8}) {
+    net.set_threads(threads);
+    for (int i = 0; i < 5; ++i) {
+      ++executed;
+      if (!net.step()) break;
+    }
+  }
+  net.set_threads(3);
+  executed += net.run(kRounds);
+  EXPECT_EQ(sequential, collect(net, executed));
+}
+
+TEST(ParallelDeterminism, RealAlgorithmProducesIdenticalClustering) {
+  util::Rng rng(21);
+  const graph::Graph g = graph::gnp(200, 0.05, rng);
+
+  auto run_luby = [&](int threads) {
+    SyncNetwork net(g, 77);
+    net.set_threads(threads);
+    net.set_all_processes(
+        [](NodeId) { return std::make_unique<algo::LubyMisProcess>(2); });
+    net.run(100000);
+    std::vector<bool> selected;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      selected.push_back(net.process_as<algo::LubyMisProcess>(v).selected());
+    }
+    return std::make_pair(selected, net.metrics());
+  };
+
+  const auto sequential = run_luby(1);
+  const auto parallel = run_luby(6);
+  EXPECT_EQ(sequential.first, parallel.first);
+  EXPECT_EQ(sequential.second, parallel.second);
+}
+
+TEST(ParallelDeterminism, CrashDropsInFlightMessagesUnderParallelEngine) {
+  // The sender-indexed in-flight drop must behave identically when the
+  // messages were staged by a parallel round.
+  const graph::Graph g = graph::star(8);
+  auto run_with = [&](int threads) {
+    SyncNetwork net(g, 5);
+    net.set_threads(threads);
+    net.set_all_processes(
+        [](NodeId) { return std::make_unique<RecordingProcess>(12); });
+    net.schedule_crash(3, 4);
+    net.schedule_crash(0, 7);  // the hub: silences everyone afterwards
+    const auto executed = net.run(20);
+    return collect(net, executed);
+  };
+  const RunResult sequential = run_with(1);
+  EXPECT_TRUE(sequential.crashed[0]);
+  EXPECT_TRUE(sequential.crashed[3]);
+  EXPECT_EQ(sequential.live, 6);
+  EXPECT_EQ(run_with(4), sequential);
+}
+
+TEST(ParallelDeterminism, BroadcastPayloadSharingKeepsAccounting) {
+  // One broadcast of 3 words from the hub of a star must count one message
+  // per neighbor (paper accounting) even though the payload is stored once.
+  const graph::Graph g = graph::star(6);
+
+  class OneBroadcast final : public Process {
+   public:
+    void on_round(Context& ctx) override {
+      if (ctx.self() == 0 && ctx.round() == 0) {
+        ctx.broadcast({Word{1}, Word{2}, Word{3}});
+      }
+      if (ctx.round() >= 1) halt();
+    }
+  };
+
+  for (int threads : {1, 4}) {
+    SyncNetwork net(g, 1);
+    net.set_threads(threads);
+    net.set_all_processes(
+        [](NodeId) { return std::make_unique<OneBroadcast>(); });
+    net.run(4);
+    EXPECT_EQ(net.metrics().messages_sent, 5);
+    EXPECT_EQ(net.metrics().words_sent, 15);
+    EXPECT_EQ(net.metrics().max_message_words, 3);
+  }
+}
+
+}  // namespace
+}  // namespace ftc::sim

@@ -1,0 +1,72 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace ftc::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run(64, [&](int i) { hits[static_cast<std::size_t>(i)] += 1; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<int> order;
+  pool.run(5, [&](int i) { order.push_back(i); });  // no workers: inline
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.run(10, [&](int i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 50LL * 45);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  pool.run(0, [&](int) { FAIL() << "no task should run"; });
+}
+
+TEST(ThreadPool, MoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(1000, [&](int i) { hits[static_cast<std::size_t>(i)] += 1; });
+  int total = 0;
+  for (const auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(ThreadPool, DisjointShardWritesNeedNoSynchronization) {
+  // The simulator's usage pattern: tasks write to task-indexed slots and
+  // the caller merges after run() returns (the barrier orders the writes).
+  ThreadPool pool(4);
+  std::vector<long long> slot(8, 0);
+  pool.run(8, [&](int i) {
+    for (int k = 0; k < 1000; ++k) slot[static_cast<std::size_t>(i)] += k;
+  });
+  const long long expected = 999LL * 1000 / 2;
+  for (long long s : slot) {
+    EXPECT_EQ(s, expected);
+  }
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace ftc::util
