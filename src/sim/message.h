@@ -35,8 +35,11 @@ class WordSpan {
   constexpr WordSpan() noexcept = default;
   constexpr WordSpan(const Word* data, std::size_t size) noexcept
       : data_(data), size_(size) {}
-  WordSpan(const std::vector<Word>& words) noexcept  // NOLINT(runtime/explicit)
+  explicit WordSpan(const std::vector<Word>& words) noexcept
       : data_(words.data()), size_(words.size()) {}
+  // A view over a temporary vector would dangle as soon as the full
+  // expression ends; force callers to bind to an lvalue they keep alive.
+  explicit WordSpan(std::vector<Word>&&) = delete;
 
   [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
   [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }

@@ -2,10 +2,26 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 namespace ftc::sim {
 
 using graph::NodeId;
+
+namespace {
+
+// OutEntry stores (offset, len) into the shard arena as uint32. Enforced
+// unconditionally (not via assert): in a release build an arena past 2^32
+// words would otherwise silently truncate offsets and corrupt payloads.
+void check_arena_capacity(std::size_t arena_size, std::size_t words) {
+  if (arena_size + words >=
+      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+    throw std::length_error(
+        "SyncNetwork: per-shard round arena exceeds uint32 offset range");
+  }
+}
+
+}  // namespace
 
 graph::NodeId Context::n() const noexcept {
   return net_->backend_graph().n();
@@ -116,8 +132,7 @@ void SyncNetwork::backend_send(graph::NodeId from, graph::NodeId to,
   }
 #endif
   auto& arena = arena_cur_[s];
-  assert(arena.size() + words.size() <
-         std::numeric_limits<std::uint32_t>::max());
+  check_arena_capacity(arena.size(), words.size());
   if (box.empty()) shard_senders_cur_[s].push_back(from);
   const auto offset = static_cast<std::uint32_t>(arena.size());
   arena.insert(arena.end(), words.begin(), words.end());
@@ -144,8 +159,7 @@ void SyncNetwork::backend_broadcast(graph::NodeId from,
   }
 #endif
   auto& arena = arena_cur_[s];
-  assert(arena.size() + words.size() <
-         std::numeric_limits<std::uint32_t>::max());
+  check_arena_capacity(arena.size(), words.size());
   if (box.empty()) shard_senders_cur_[s].push_back(from);
   const auto offset = static_cast<std::uint32_t>(arena.size());
   const auto len = static_cast<std::uint32_t>(words.size());

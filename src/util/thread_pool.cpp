@@ -28,15 +28,24 @@ int ThreadPool::hardware_threads() noexcept {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void ThreadPool::drain_tasks(const std::function<void(int)>& fn, int tasks) {
+void ThreadPool::drain_tasks(const std::function<void(int)>* fn, int tasks,
+                             std::uint64_t gen) {
   for (;;) {
     int task;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (next_task_ >= tasks) return;
+      // Generation guard: after a job's final ++completed_, run() may return
+      // and publish a new job before this thread re-reaches the claim check.
+      // next_task_/completed_ then belong to the new job, so claiming on
+      // `next_task_ < tasks` alone would run a task of the new job through
+      // the old (possibly destroyed) fn and break the new job's barrier.
+      if (generation_ != gen || next_task_ >= tasks) return;
       task = next_task_++;
     }
-    fn(task);
+    // Between the claim above and the ++completed_ below, completed_ < tasks
+    // holds for generation `gen`, so run() cannot return and the job (and
+    // *fn) stays alive while we execute.
+    (*fn)(task);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++completed_;
@@ -60,7 +69,7 @@ void ThreadPool::worker_loop() {
       fn = job_;
       tasks = tasks_;
     }
-    drain_tasks(*fn, tasks);
+    drain_tasks(fn, tasks, seen_generation);
   }
 }
 
@@ -71,16 +80,17 @@ void ThreadPool::run(int tasks, const std::function<void(int)>& fn) {
     for (int i = 0; i < tasks; ++i) fn(i);
     return;
   }
+  std::uint64_t gen;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
     tasks_ = tasks;
     next_task_ = 0;
     completed_ = 0;
-    ++generation_;
+    gen = ++generation_;
   }
   work_ready_.notify_all();
-  drain_tasks(fn, tasks);
+  drain_tasks(&fn, tasks, gen);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     job_done_.wait(lock, [&] { return completed_ == tasks_; });

@@ -48,8 +48,12 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  /// Claims and executes tasks of the current job until none remain.
-  void drain_tasks(const std::function<void(int)>& fn, int tasks);
+  /// Claims and executes tasks of job generation `gen` until none remain or
+  /// a newer job has been published. `fn` is dereferenced only after a
+  /// successful claim, so a stale caller holding a pointer to a completed
+  /// job's (possibly destroyed) function never invokes it.
+  void drain_tasks(const std::function<void(int)>* fn, int tasks,
+                   std::uint64_t gen);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

@@ -64,6 +64,29 @@ TEST(ThreadPool, DisjointShardWritesNeedNoSynchronization) {
   }
 }
 
+TEST(ThreadPool, BackToBackJobsNeverLeakTasksAcrossGenerations) {
+  // Regression test for a generation race: after a job's last task
+  // completed, a worker re-entering the claim loop could observe the
+  // counters already reset by the next run() call and claim a task of the
+  // new job while still holding the old job's (by then destroyed)
+  // function. Tiny jobs issued back-to-back with distinct per-job closures
+  // maximize that window; a stale claim either corrupts `hits` (task run
+  // by the wrong job's closure) or releases the barrier early (task never
+  // run by the right one).
+  ThreadPool pool(4);
+  constexpr int kJobs = 2000;
+  constexpr int kTasks = 3;
+  for (int job = 0; job < kJobs; ++job) {
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.run(kTasks, [&hits, job](int i) {
+      hits[static_cast<std::size_t>(i)] += job + 1;
+    });
+    for (const auto& h : hits) {
+      ASSERT_EQ(h.load(), job + 1);
+    }
+  }
+}
+
 TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1);
 }
