@@ -1,0 +1,278 @@
+// P8 — Observability plane overhead (rounds/sec with the plane compiled in).
+//
+// The obs hooks in SyncNetwork::step() and the process classes are always
+// compiled in; a detached network pays one null check per round phase. This
+// bench prices that, on the same flood workload as bench_p1_simcore, in
+// three modes:
+//
+//   * off     — no plane attached (the default for every binary). This is
+//               the acceptance-relevant number: it must stay within 2% of
+//               the sequential rounds/sec recorded in BENCH_simcore.json,
+//               i.e. instrumenting the engine must be free when unused.
+//   * metrics — plane attached with every trace category masked out, so
+//               only the counter/gauge/histogram path runs.
+//   * trace   — plane attached with full tracing (debug severity, all
+//               categories), the most expensive configuration.
+//
+// All three modes execute the identical seeded workload; their state digests
+// must match (attaching the plane must not perturb the simulation), and the
+// best-of-`--repeats` time is used so the comparison is noise-resistant.
+//
+// --sizes=1000,10000          node counts
+// --degree=12                 target average UDG degree
+// --rounds=0                  rounds per run (0 = auto, as bench_p1_simcore)
+// --repeats=3                 timed repetitions per mode (best is kept)
+// --reference=BENCH_simcore.json  recorded baseline ("" = skip comparison)
+// --json=BENCH_obs_overhead.json  machine-readable output ("" = none)
+// --csv=path                  optional CSV mirror of the table
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "geom/udg.h"
+#include "graph/graph.h"
+#include "obs/plane.h"
+#include "sim/message.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ftc;
+using graph::NodeId;
+using sim::Word;
+
+constexpr std::uint64_t kGraphSeed = 42;
+constexpr std::uint64_t kNetSeed = 7;
+
+/// Same measured workload as bench_p1_simcore: fold the inbox, broadcast
+/// two derived words, run a fixed number of rounds.
+class FloodProcess final : public sim::Process {
+ public:
+  explicit FloodProcess(std::int64_t rounds) : rounds_(rounds) {}
+
+  void on_round(sim::Context& ctx) override {
+    std::int64_t acc = 0;
+    for (const sim::Message& msg : ctx.inbox()) {
+      acc += msg.words[0] + msg.from;
+    }
+    state_ ^= static_cast<std::uint64_t>(acc) + ctx.rng()();
+    ctx.broadcast({static_cast<Word>(state_ & 0xFFFF),
+                   static_cast<Word>(ctx.round())});
+    if (ctx.round() + 1 >= rounds_) halt();
+  }
+
+  std::uint64_t state_ = 1;
+
+ private:
+  std::int64_t rounds_;
+};
+
+std::uint64_t digest_states(const std::vector<std::uint64_t>& states,
+                            std::int64_t messages, std::int64_t words) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint64_t s : states) {
+    h ^= s;
+    h *= 1099511628211ULL;
+  }
+  h ^= static_cast<std::uint64_t>(messages);
+  h *= 1099511628211ULL;
+  h ^= static_cast<std::uint64_t>(words);
+  return h;
+}
+
+enum class Mode { kOff, kMetrics, kTrace };
+
+struct ModeResult {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  double seconds = 0.0;  ///< best of --repeats
+  std::uint64_t digest = 0;
+};
+
+std::unique_ptr<obs::Plane> plane_for(Mode mode) {
+  if (mode == Mode::kOff) return nullptr;
+  obs::PlaneOptions options;
+  if (mode == Mode::kMetrics) {
+    options.trace.category_mask = 0;  // registry only
+  } else {
+    options.trace.min_severity = obs::Severity::kDebug;
+    options.trace.category_mask = obs::kAllCategories;
+  }
+  return std::make_unique<obs::Plane>(options);
+}
+
+ModeResult run_mode(const geom::UnitDiskGraph& udg, std::int64_t rounds,
+                    Mode mode, int repeats, obs::Plane** plane_out) {
+  ModeResult best;
+  for (int rep = 0; rep < repeats; ++rep) {
+    auto plane = plane_for(mode);
+    sim::SyncNetwork net(udg, kNetSeed);
+    if (plane != nullptr) net.set_observability(plane.get());
+    net.set_all_processes(
+        [&](NodeId) { return std::make_unique<FloodProcess>(rounds); });
+    bench::WallClock clock;
+    const std::int64_t executed = net.run(rounds + 1);
+    const double seconds = clock.seconds();
+    std::vector<std::uint64_t> states;
+    states.reserve(static_cast<std::size_t>(udg.n()));
+    for (NodeId v = 0; v < udg.n(); ++v) {
+      states.push_back(net.process_as<FloodProcess>(v).state_);
+    }
+    const std::uint64_t digest = digest_states(
+        states, net.metrics().messages_sent, net.metrics().words_sent);
+    if (rep == 0 || seconds < best.seconds) {
+      best.rounds = executed;
+      best.messages = net.metrics().messages_sent;
+      best.seconds = seconds;
+    }
+    best.digest = digest;  // identical across repeats by construction
+    if (plane_out != nullptr && rep == repeats - 1) {
+      *plane_out = plane.release();  // caller owns; used for metric columns
+    }
+  }
+  return best;
+}
+
+/// Pulls {"n": N, ... "engine": "sequential", ... "rounds_per_sec": X} rows
+/// out of BENCH_simcore.json with plain string scanning (the file is
+/// machine-written by bench_p1_simcore, so the shape is fixed).
+double reference_rounds_per_sec(const std::string& path, NodeId n) {
+  std::ifstream in(path);
+  if (!in) return 0.0;
+  std::string line;
+  const std::string want_n = "\"n\": " + std::to_string(n) + ",";
+  while (std::getline(in, line)) {
+    if (line.find(want_n) == std::string::npos) continue;
+    if (line.find("\"engine\": \"sequential\"") == std::string::npos) continue;
+    const auto key = line.find("\"rounds_per_sec\": ");
+    if (key == std::string::npos) continue;
+    return std::stod(line.substr(key + 18));
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto sizes = args.get_int_list("sizes", {1'000, 10'000});
+  const double degree = args.get_double("degree", 12.0);
+  const auto rounds_arg = args.get_int("rounds", 0);
+  const int repeats =
+      std::max(1, static_cast<int>(args.get_int("repeats", 3)));
+  const std::string reference_path =
+      args.get_string("reference", "BENCH_simcore.json");
+  const std::string json_path =
+      args.get_string("json", "BENCH_obs_overhead.json");
+
+  bench::MetricColumns metric_cols(
+      nullptr, {"sim.messages", "sim.live_nodes"});
+  bench::Output out(metric_cols.headers({"n", "mode", "rounds", "rounds/sec",
+                                         "vs_off", "vs_reference"}),
+                    args);
+  std::vector<std::string> json_rows;
+  bool within_budget = true;
+
+  for (long long n_ll : sizes) {
+    const auto n = static_cast<NodeId>(n_ll);
+    const std::int64_t rounds =
+        rounds_arg > 0
+            ? rounds_arg
+            : std::clamp<std::int64_t>(2'000'000 / std::max<NodeId>(n, 1), 20,
+                                       2'000);
+    util::Rng graph_rng(kGraphSeed);
+    const geom::UnitDiskGraph udg =
+        geom::uniform_udg_with_degree(n, degree, graph_rng);
+
+    struct Row {
+      const char* name;
+      Mode mode;
+      ModeResult r;
+      obs::Plane* plane = nullptr;
+    };
+    std::vector<Row> rows = {{"off", Mode::kOff, {}, nullptr},
+                             {"metrics", Mode::kMetrics, {}, nullptr},
+                             {"trace", Mode::kTrace, {}, nullptr}};
+    for (Row& row : rows) {
+      row.r = run_mode(udg, rounds, row.mode, repeats, &row.plane);
+    }
+    for (const Row& row : rows) {
+      if (row.r.digest != rows[0].r.digest) {
+        std::cerr << "FATAL: mode '" << row.name << "' changed the "
+                  << "execution at n=" << n
+                  << " (observability must be measurement-only)\n";
+        return 1;
+      }
+    }
+
+    const double off_rps =
+        static_cast<double>(rows[0].r.rounds) / rows[0].r.seconds;
+    const double ref_rps = reference_path.empty()
+                               ? 0.0
+                               : reference_rounds_per_sec(reference_path, n);
+    for (Row& row : rows) {
+      const double rps =
+          static_cast<double>(row.r.rounds) / row.r.seconds;
+      const double vs_off = rps / off_rps;
+      const double vs_ref = ref_rps > 0.0 ? rps / ref_rps : 0.0;
+      metric_cols.attach(row.plane != nullptr ? &row.plane->metrics()
+                                              : nullptr);
+      std::vector<std::string> cells = {
+          util::fmt(static_cast<long long>(n)), row.name,
+          util::fmt(row.r.rounds), util::fmt(rps, 1), util::fmt(vs_off, 3),
+          ref_rps > 0.0 ? util::fmt(vs_ref, 3) : std::string("-")};
+      metric_cols.cells(cells);
+      out.row(std::move(cells));
+
+      std::string json = "    {";
+      json += "\"n\": " + std::to_string(n);
+      json += ", \"mode\": \"" + std::string(row.name) + "\"";
+      json += ", \"rounds\": " + std::to_string(row.r.rounds);
+      json += ", \"seconds\": " + util::fmt(row.r.seconds, 6);
+      json += ", \"rounds_per_sec\": " + util::fmt(rps, 3);
+      json += ", \"vs_off\": " + util::fmt(vs_off, 4);
+      json += ", \"reference_rounds_per_sec\": " + util::fmt(ref_rps, 3);
+      json += ", \"vs_reference\": " + util::fmt(vs_ref, 4);
+      json += "}";
+      json_rows.push_back(std::move(json));
+      delete row.plane;
+    }
+    // The acceptance gate: the detached engine must hold >= 98% of the
+    // recorded baseline throughput. Only meaningful when a reference row
+    // for this n exists (sizes beyond the recorded sweep are informational).
+    if (ref_rps > 0.0 && off_rps < 0.98 * ref_rps) within_budget = false;
+    out.rule();
+  }
+
+  out.print("P8 — observability overhead (flood workload, avg degree " +
+            util::fmt(degree, 1) + ", best of " + util::fmt(repeats) +
+            ")");
+  if (!within_budget) {
+    std::cout << "WARNING: detached ('off') throughput fell below 98% of "
+                 "the recorded BENCH_simcore.json baseline\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    json << "{\n  \"bench\": \"obs_overhead\",\n"
+         << "  \"workload\": \"udg_flood_broadcast\",\n"
+         << "  \"degree\": " << util::fmt(degree, 1) << ",\n"
+         << "  \"budget\": \"off >= 0.98 * reference\",\n"
+         << "  \"within_budget\": " << (within_budget ? "true" : "false")
+         << ",\n"
+         << "  \"results\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      json << json_rows[i] << (i + 1 < json_rows.size() ? ",\n" : "\n");
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -2,6 +2,12 @@
 // the scenario sensor_backbone.cpp handles with periodic re-clustering.
 //
 //   ./soak_selfheal [--n=800] [--k=2] [--rounds=3000] [--loss=0.05]
+//                   [--threads=1] [--trace=soak.trace] [--metrics=soak.json]
+//
+// With --trace the run records the observability plane (DESIGN.md §7):
+// crashes, suspicions, promotion waves and engine phases land in a Chrome
+// trace_event file (open in Perfetto / about:tracing) plus a deterministic
+// JSONL stream at <path>.jsonl; --metrics dumps the metric registry.
 //
 // Every node runs the RepairProcess daemon: heartbeats piggyback on the
 // protocol's one word per round, a timeout failure detector flags dead
@@ -18,6 +24,7 @@
 #include "algo/extensions/soak.h"
 #include "domination/domination.h"
 #include "geom/udg.h"
+#include "obs/plane.h"
 #include "sim/fault.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -29,6 +36,9 @@ int main(int argc, char** argv) {
   const auto k = static_cast<std::int32_t>(args.get_int("k", 2));
   const auto rounds = args.get_int("rounds", 3000);
   const double loss = args.get_double("loss", 0.05);
+  const auto threads = static_cast<int>(args.get_int("threads", 1));
+  const util::ObsFlags obs_flags = util::parse_obs_flags(args);
+  const auto plane = obs::make_plane(obs_flags);
 
   util::Rng rng(42);
   const auto udg = geom::uniform_udg_with_degree(n, 14.0, rng);
@@ -46,7 +56,10 @@ int main(int argc, char** argv) {
   algo::SoakOptions opts;
   opts.rounds = rounds;
   opts.message_loss = loss;
+  opts.threads = threads;
+  opts.plane = plane.get();
   const auto rep = algo::run_soak(g, &udg, demands, base, plan, opts);
+  if (plane != nullptr) obs::export_plane(*plane, obs_flags);
 
   std::printf("self-healing soak: n=%d k=%d rounds=%lld loss=%.0f%%\n",
               static_cast<int>(n), static_cast<int>(k),

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_obs_overhead.json: Release-build the observability
+# overhead benchmark and run it against the recorded BENCH_simcore.json
+# baseline. The "off" rows (plane compiled in but not attached) must hold
+# >= 98% of the baseline sequential rounds/sec.
+#
+#   scripts/bench_overhead.sh [build-dir]    (default: build)
+# Extra arguments after the build dir are passed through to the bench, e.g.
+#   scripts/bench_overhead.sh build --sizes=1000 --repeats=5
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_obs_overhead
+"$BUILD_DIR/bench/bench_obs_overhead" \
+  --reference=BENCH_simcore.json --json=BENCH_obs_overhead.json "$@"

@@ -13,20 +13,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 MODE="${FTC_SANITIZE:-address}"
 
+# An explicit configure guard (on top of set -e): a failed configure must
+# never fall through to a ctest that "passes" by running zero tests.
+configure() {
+  if ! cmake "$@"; then
+    echo "check.sh: cmake configure failed — tests were NOT run" >&2
+    exit 2
+  fi
+}
+
 if [ "$MODE" = "thread" ]; then
   BUILD_DIR="${1:-build-tsan}"
-  cmake -B "$BUILD_DIR" -S . \
+  configure -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFTC_SANITIZE=thread
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target ftc_tests bench_p1_simcore
-  # The concurrency surface: the thread pool itself, the determinism suite
-  # (which drives SyncNetwork at many widths), and the simcore bench smoke
-  # (which runs the parallel engine against a live workload).
+  # The concurrency surface: the thread pool itself, the determinism suites
+  # (which drive SyncNetwork — with and without an observability plane — at
+  # many widths), and the simcore bench smoke (the parallel engine against a
+  # live workload).
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'ThreadPool|ParallelDeterminism|smoke_p1'
+    -R 'ThreadPool|ParallelDeterminism|TraceDeterminism|smoke_p1'
 else
   BUILD_DIR="${1:-build-asan}"
-  cmake -B "$BUILD_DIR" -S . \
+  configure -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFTC_SANITIZE=address
   cmake --build "$BUILD_DIR" -j "$(nproc)"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/plane.h"
+
 namespace ftc::algo {
 
 using domination::Mode;
@@ -53,6 +55,12 @@ void RepairProcess::phase_member(sim::Context& ctx) {
   if (elected && !member_) {
     member_ = true;
     ++joins_;
+    if (obs::Recorder* rec = ctx.obs(); rec != nullptr) {
+      rec->count(rec->builtin().promotions);
+      rec->event(obs::Category::kRepair, obs::Severity::kInfo,
+                 rec->builtin().n_promote, ctx.round(),
+                 static_cast<std::int32_t>(ctx.self()), demand_);
+    }
   }
   ctx.broadcast({member_ ? Word{1} : Word{0}});
 }
@@ -81,6 +89,12 @@ void RepairProcess::phase_deficit(sim::Context& ctx) {
     // Never act on a neighborhood not fully heard from (fresh boot or churn
     // rejoin): one wave of patience instead of a spurious promotion.
     residual_ = unknown_live_neighbor ? 0 : std::max(0, demand_ - coverage);
+  }
+  if (residual_ > 0) {
+    if (obs::Recorder* rec = ctx.obs(); rec != nullptr) {
+      rec->record(rec->builtin().coverage_deficit,
+                  static_cast<double>(residual_));
+    }
   }
   deficient_ = residual_ > 0;
   ctx.broadcast({deficient_ ? Word{1} : Word{0}});

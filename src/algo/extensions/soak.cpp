@@ -42,6 +42,8 @@ SoakReport run_soak(const graph::Graph& g, const geom::UnitDiskGraph* udg,
           ? std::make_unique<sim::SyncNetwork>(*udg, options.network_seed)
           : std::make_unique<sim::SyncNetwork>(g, options.network_seed);
   sim::SyncNetwork& net = *net_holder;
+  if (options.plane != nullptr) net.set_observability(options.plane);
+  if (options.threads > 1) net.set_threads(options.threads);
   if (options.message_loss > 0.0) {
     net.set_message_loss(options.message_loss,
                          options.fault_seed ^ 0x6C6F7373ULL);
@@ -100,6 +102,7 @@ SoakReport run_soak(const graph::Graph& g, const geom::UnitDiskGraph* udg,
   for (std::int64_t r = 0; r < options.rounds; ++r) {
     net.step();
 
+    std::int64_t round_promotions = 0;
     for (NodeId v = 0; v < g.n(); ++v) {
       const auto vi = static_cast<std::size_t>(v);
       if (net.crashed(v)) {
@@ -116,7 +119,10 @@ SoakReport run_soak(const graph::Graph& g, const geom::UnitDiskGraph* udg,
         seen_refuted[vi] = 0;
       }
       member_now[vi] = p.member() ? 1 : 0;
-      if (member_now[vi] && !prev_member[vi]) ++report.promotions;
+      if (member_now[vi] && !prev_member[vi]) {
+        ++report.promotions;
+        ++round_promotions;
+      }
       prev_member[vi] = member_now[vi];
       report.suspicions_raised += p.monitor().suspicions_raised() -
                                   seen_suspicions[vi];
@@ -124,6 +130,16 @@ SoakReport run_soak(const graph::Graph& g, const geom::UnitDiskGraph* udg,
       report.refuted_suspicions += p.monitor().refuted_suspicions() -
                                    seen_refuted[vi];
       seen_refuted[vi] = p.monitor().refuted_suspicions();
+    }
+
+    // Promotions only land in the P0 (member) phase; a non-empty P0 round
+    // is one completed repair wave. The observer sees global wave sizes the
+    // per-node processes cannot, so the histogram is published from here.
+    if (options.plane != nullptr && round_promotions > 0 && r % 4 == 0) {
+      obs::Plane& pl = *options.plane;
+      pl.metrics().add(pl.builtin().repair_waves, 1);
+      pl.metrics().record(pl.builtin().wave_joins,
+                          static_cast<double>(round_promotions));
     }
 
     if (coverage_violated()) {

@@ -28,6 +28,7 @@
 #include "domination/domination.h"
 #include "geom/udg.h"
 #include "graph/graph.h"
+#include "obs/plane.h"
 #include "sim/fault.h"
 
 namespace ftc::algo {
@@ -40,6 +41,8 @@ struct SoakOptions {
   double message_loss = 0.0;           ///< link loss probability
   std::uint64_t network_seed = 1;      ///< per-node process randomness
   std::uint64_t fault_seed = 2;        ///< fault plan compilation
+  int threads = 1;                     ///< round-engine shards (determinism-safe)
+  obs::Plane* plane = nullptr;         ///< optional observability plane
 };
 
 /// What the observer saw.

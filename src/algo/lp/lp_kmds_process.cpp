@@ -6,6 +6,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/plane.h"
 #include "sim/message.h"
 
 namespace ftc::algo {
@@ -59,6 +60,13 @@ void LpKmdsProcess::do_x_update_and_send(sim::Context& ctx) {
   if (x_ < 1.0 && static_cast<double>(dyn_deg_) >= threshold) {
     x_plus_ = std::min(increment, 1.0 - x_);
     x_ += x_plus_;
+  }
+  if (obs::Recorder* rec = ctx.obs(); rec != nullptr) {
+    rec->count(rec->builtin().lp_iterations);
+    rec->event(obs::Category::kAlgo, obs::Severity::kDebug,
+               rec->builtin().n_lp_iteration, ctx.round(),
+               static_cast<std::int32_t>(ctx.self()), m,
+               x_plus_ > 0.0 ? 1 : 0);
   }
   ctx.broadcast({sim::encode_fixed(x_), sim::encode_fixed(x_plus_),
                  static_cast<Word>(dyn_deg_)});

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/plane.h"
+
 namespace ftc::algo {
 
 using graph::NodeId;
@@ -22,6 +24,13 @@ void RoundingProcess::on_round(sim::Context& ctx) {
     if (ctx.rng().bernoulli(p)) {
       in_set_ = true;
       by_coin_ = true;
+    }
+    if (obs::Recorder* rec = ctx.obs(); rec != nullptr) {
+      rec->count(rec->builtin().rounding_trials);
+      rec->event(obs::Category::kAlgo, obs::Severity::kDebug,
+                 rec->builtin().n_rounding_trial, ctx.round(),
+                 static_cast<std::int32_t>(ctx.self()),
+                 by_coin_ ? 1 : 0);
     }
     ctx.broadcast({in_set_ ? Word{1} : Word{0}});
   } else if (step_ == 1) {

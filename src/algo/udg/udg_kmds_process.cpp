@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "algo/udg/udg_kmds.h"
+#include "obs/plane.h"
 
 namespace ftc::algo {
 
@@ -37,6 +38,14 @@ void UdgKmdsProcess::part1_even(sim::Context& ctx, std::int64_t part1_round) {
       }
     }
     theta_ *= 2.0;  // line 13 of the previous paper round
+    if (active_) {
+      if (obs::Recorder* rec = ctx.obs(); rec != nullptr) {
+        rec->count(rec->builtin().probe_doublings);
+        rec->event(obs::Category::kAlgo, obs::Severity::kDebug,
+                   rec->builtin().n_probe_doubling, ctx.round(),
+                   static_cast<std::int32_t>(ctx.self()), part1_round);
+      }
+    }
   }
   elected_ = false;
   if (!active_) return;

@@ -1,0 +1,222 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace ftc::obs {
+
+std::int64_t HistogramSnapshot::total() const noexcept {
+  std::int64_t t = 0;
+  for (std::int64_t c : counts) t += c;
+  return t;
+}
+
+std::vector<double> pow2_bounds(int lo_exp, int hi_exp) {
+  assert(lo_exp <= hi_exp);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(hi_exp - lo_exp + 1));
+  for (int e = lo_exp; e <= hi_exp; ++e) {
+    bounds.push_back(std::ldexp(1.0, e));
+  }
+  return bounds;
+}
+
+std::size_t Registry::bucket_of(const std::vector<double>& bounds,
+                                double value) noexcept {
+  // First bound strictly greater than value ⇒ half-open [lo, hi) buckets:
+  // a value exactly on an edge lands in the upper bucket.
+  return static_cast<std::size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+}
+
+MetricId Registry::define(std::string name, MetricKind kind) {
+  const MetricId existing = find(name);
+  if (existing != kInvalidMetric) {
+    if (defs_[existing].kind != kind) {
+      throw std::invalid_argument("Registry: metric '" + name +
+                                  "' re-registered with a different kind");
+    }
+    return existing;
+  }
+  Def d;
+  d.name = std::move(name);
+  d.kind = kind;
+  if (kind == MetricKind::kHistogram) {
+    d.slot = hists_.size();
+  } else {
+    d.slot = scalars_.size();
+    scalars_.push_back(0);
+  }
+  defs_.push_back(std::move(d));
+  return static_cast<MetricId>(defs_.size() - 1);
+}
+
+MetricId Registry::counter(std::string name) {
+  return define(std::move(name), MetricKind::kCounter);
+}
+
+MetricId Registry::gauge(std::string name) {
+  return define(std::move(name), MetricKind::kGauge);
+}
+
+MetricId Registry::histogram(std::string name, std::vector<double> bounds) {
+  assert(std::is_sorted(bounds.begin(), bounds.end()));
+  assert(!bounds.empty());
+  const MetricId id = define(std::move(name), MetricKind::kHistogram);
+  if (defs_[id].slot == hists_.size()) {  // newly defined, not re-found
+    Hist h;
+    h.counts.assign(bounds.size() + 1, 0);
+    h.bounds = std::move(bounds);
+    hists_.push_back(std::move(h));
+  }
+  return id;
+}
+
+MetricId Registry::find(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) return static_cast<MetricId>(i);
+  }
+  return kInvalidMetric;
+}
+
+const Registry::Def& Registry::def(MetricId id) const {
+  assert(id < defs_.size());
+  return defs_[static_cast<std::size_t>(id)];
+}
+
+const std::string& Registry::name(MetricId id) const { return def(id).name; }
+
+MetricKind Registry::kind(MetricId id) const { return def(id).kind; }
+
+void Registry::add(MetricId id, std::int64_t delta) {
+  assert(def(id).kind == MetricKind::kCounter);
+  scalars_[def(id).slot] += delta;
+}
+
+void Registry::set(MetricId id, std::int64_t value) {
+  assert(def(id).kind == MetricKind::kGauge);
+  scalars_[def(id).slot] = value;
+}
+
+void Registry::record(MetricId id, double value) {
+  assert(def(id).kind == MetricKind::kHistogram);
+  Hist& h = hists_[def(id).slot];
+  ++h.counts[bucket_of(h.bounds, value)];
+}
+
+void Registry::set_shards(int shards) {
+  assert(shards >= 1);
+  if (static_cast<int>(staged_.size()) == shards) return;
+  // Growing or shrinking between barriers is safe: staging is empty then.
+  for (const ShardSlots& s : staged_) {
+    assert(s.touched.empty() && "set_shards with staged data pending");
+    (void)s;
+  }
+  staged_.resize(static_cast<std::size_t>(shards));
+}
+
+void Registry::ensure_shard_capacity(ShardSlots& slots) const {
+  if (slots.scalars.size() < scalars_.size()) {
+    slots.scalars.resize(scalars_.size(), 0);
+  }
+  if (slots.hist_counts.size() < hists_.size()) {
+    slots.hist_counts.resize(hists_.size());
+  }
+}
+
+void Registry::shard_add(int shard, MetricId id, std::int64_t delta) {
+  assert(def(id).kind == MetricKind::kCounter &&
+         "gauges are sequential-only (no commutative merge)");
+  ShardSlots& slots = staged_[static_cast<std::size_t>(shard)];
+  ensure_shard_capacity(slots);
+  std::int64_t& cell = slots.scalars[def(id).slot];
+  if (cell == 0) slots.touched.push_back(id);
+  cell += delta;
+}
+
+void Registry::shard_record(int shard, MetricId id, double value) {
+  assert(def(id).kind == MetricKind::kHistogram);
+  ShardSlots& slots = staged_[static_cast<std::size_t>(shard)];
+  ensure_shard_capacity(slots);
+  auto& counts = slots.hist_counts[def(id).slot];
+  const Hist& h = hists_[def(id).slot];
+  if (counts.empty()) {
+    counts.assign(h.counts.size(), 0);
+    slots.touched.push_back(id);
+  }
+  ++counts[bucket_of(h.bounds, value)];
+}
+
+void Registry::merge_shards() {
+  for (ShardSlots& slots : staged_) {  // ascending shard order
+    for (MetricId id : slots.touched) {
+      const Def& d = def(id);
+      if (d.kind == MetricKind::kHistogram) {
+        auto& staged_counts = slots.hist_counts[d.slot];
+        auto& base = hists_[d.slot].counts;
+        for (std::size_t b = 0; b < base.size(); ++b) {
+          base[b] += staged_counts[b];
+        }
+        staged_counts.clear();
+      } else {
+        scalars_[d.slot] += slots.scalars[d.slot];
+        slots.scalars[d.slot] = 0;
+      }
+    }
+    slots.touched.clear();
+  }
+}
+
+std::int64_t Registry::value(MetricId id) const {
+  assert(def(id).kind != MetricKind::kHistogram);
+  return scalars_[def(id).slot];
+}
+
+HistogramSnapshot Registry::histogram_snapshot(MetricId id) const {
+  assert(def(id).kind == MetricKind::kHistogram);
+  const Hist& h = hists_[def(id).slot];
+  return HistogramSnapshot{h.bounds, h.counts};
+}
+
+void Registry::reset() {
+  std::fill(scalars_.begin(), scalars_.end(), 0);
+  for (Hist& h : hists_) {
+    std::fill(h.counts.begin(), h.counts.end(), 0);
+  }
+  for (ShardSlots& slots : staged_) {
+    std::fill(slots.scalars.begin(), slots.scalars.end(), 0);
+    for (auto& counts : slots.hist_counts) counts.clear();
+    slots.touched.clear();
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  os << "{\n";
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const Def& d = defs_[i];
+    os << "  \"" << d.name << "\": ";
+    if (d.kind == MetricKind::kHistogram) {
+      const Hist& h = hists_[d.slot];
+      os << "{\"bounds\": [";
+      for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+        if (b != 0) os << ", ";
+        os << h.bounds[b];
+      }
+      os << "], \"counts\": [";
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        if (b != 0) os << ", ";
+        os << h.counts[b];
+      }
+      os << "]}";
+    } else {
+      os << scalars_[d.slot];
+    }
+    os << (i + 1 < defs_.size() ? ",\n" : "\n");
+  }
+  os << "}\n";
+}
+
+}  // namespace ftc::obs

@@ -1,0 +1,151 @@
+// Observability plane: one Registry + one Trace, plus the pre-registered
+// ids everything in the simulator stack publishes under (DESIGN.md §7).
+//
+// A Plane is attached to a network with SyncNetwork::set_observability() /
+// AsyncNetwork::set_observability(); processes reach it through
+// sim::Context::obs(), which hands them a shard-bound Recorder so their
+// emissions stage into per-shard slots and merge deterministically at the
+// round barrier. A detached network (the default) pays one null check per
+// round phase — the disabled path is benchmarked by bench_obs_overhead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ftc::util {
+struct ObsFlags;
+}
+
+namespace ftc::obs {
+
+/// Ids fixed at Plane construction so hot paths index arrays instead of
+/// hashing names. Metric names double as the registry JSON keys.
+struct Builtin {
+  // Counters.
+  MetricId rounds = kInvalidMetric;            ///< sim.rounds
+  MetricId messages = kInvalidMetric;          ///< sim.messages
+  MetricId words = kInvalidMetric;             ///< sim.words
+  MetricId messages_lost = kInvalidMetric;     ///< sim.messages_lost
+  MetricId crashes = kInvalidMetric;           ///< sim.crashes
+  MetricId recoveries = kInvalidMetric;        ///< sim.recoveries
+  MetricId scheduled_crashes = kInvalidMetric;     ///< fault.scheduled_crashes
+  MetricId scheduled_recoveries = kInvalidMetric;  ///< fault.scheduled_recoveries
+  MetricId suspicions = kInvalidMetric;        ///< detector.suspicions
+  MetricId refutations = kInvalidMetric;       ///< detector.refutations
+  MetricId promotions = kInvalidMetric;        ///< repair.promotions
+  MetricId repair_waves = kInvalidMetric;      ///< repair.waves
+  MetricId lp_iterations = kInvalidMetric;     ///< lp.iterations
+  MetricId rounding_trials = kInvalidMetric;   ///< rounding.trials
+  MetricId probe_doublings = kInvalidMetric;   ///< udg.probe_doublings
+  MetricId async_pulses = kInvalidMetric;      ///< async.pulses
+  MetricId async_envelopes = kInvalidMetric;   ///< async.envelopes
+  MetricId async_payload_words = kInvalidMetric;  ///< async.payload_words
+  // Gauges (sequential-only, set at the round barrier).
+  MetricId live_nodes = kInvalidMetric;        ///< sim.live_nodes
+  MetricId running_nodes = kInvalidMetric;     ///< sim.running_nodes
+  MetricId arena_words = kInvalidMetric;       ///< sim.arena_words
+  MetricId max_message_words = kInvalidMetric; ///< sim.max_message_words
+  // Histograms.
+  MetricId messages_per_round = kInvalidMetric;  ///< sim.messages_per_round
+  MetricId wave_joins = kInvalidMetric;          ///< repair.wave_joins
+  MetricId coverage_deficit = kInvalidMetric;    ///< repair.coverage_deficit
+
+  // Trace event names.
+  NameId n_round = 0;           ///< per-round engine summary
+  NameId n_fault_apply = 0;     ///< engine phase spans…
+  NameId n_execute = 0;
+  NameId n_merge = 0;
+  NameId n_deliver = 0;
+  NameId n_crash = 0;           ///< instant fault events
+  NameId n_recover = 0;
+  NameId n_fault_plan = 0;      ///< injector installed a compiled schedule
+  NameId n_suspect = 0;         ///< detector events
+  NameId n_refute = 0;
+  NameId n_promote = 0;         ///< repair events
+  NameId n_lp_iteration = 0;    ///< algorithm phase events
+  NameId n_rounding_trial = 0;
+  NameId n_probe_doubling = 0;
+  NameId n_async_run = 0;
+};
+
+struct PlaneOptions {
+  Trace::Options trace;
+};
+
+class Plane {
+ public:
+  explicit Plane(PlaneOptions options = {});
+
+  Plane(const Plane&) = delete;
+  Plane& operator=(const Plane&) = delete;
+
+  [[nodiscard]] Registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const Registry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] Trace& trace() noexcept { return trace_; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] const Builtin& builtin() const noexcept { return builtin_; }
+
+  /// Forwarded to both members (see their shard contracts).
+  void set_shards(int shards);
+  void merge_shards();
+
+ private:
+  Registry metrics_;
+  Trace trace_;
+  Builtin builtin_;
+};
+
+/// Shard-bound emission handle given to processes via sim::Context::obs().
+/// Valid only during the parallel region it was handed out for; everything
+/// it emits stages into its shard and merges at the barrier.
+class Recorder {
+ public:
+  Recorder() = default;
+  Recorder(Plane* plane, int shard) : plane_(plane), shard_(shard) {}
+
+  [[nodiscard]] const Builtin& builtin() const noexcept {
+    return plane_->builtin();
+  }
+
+  void count(MetricId id, std::int64_t delta = 1) {
+    plane_->metrics().shard_add(shard_, id, delta);
+  }
+  void record(MetricId id, double value) {
+    plane_->metrics().shard_record(shard_, id, value);
+  }
+  [[nodiscard]] bool trace_enabled(Category c, Severity s) const noexcept {
+    return plane_->trace().enabled(c, s);
+  }
+  void event(Category c, Severity s, NameId name, std::int64_t round,
+             std::int32_t node, std::int64_t a0 = 0, std::int64_t a1 = 0) {
+    TraceEvent e;
+    e.round = round;
+    e.node = node;
+    e.category = c;
+    e.severity = s;
+    e.name = name;
+    e.a0 = a0;
+    e.a1 = a1;
+    plane_->trace().shard_emit(shard_, e);
+  }
+
+ private:
+  Plane* plane_ = nullptr;
+  int shard_ = 0;
+};
+
+/// Builds a Plane from the --trace / --metrics flag group (util/cli.h), or
+/// nullptr when neither flag was given. Throws std::invalid_argument on an
+/// unknown category or severity name.
+[[nodiscard]] std::unique_ptr<Plane> make_plane(const util::ObsFlags& flags);
+
+/// Writes the flag-selected outputs: the registry JSON to --metrics, and
+/// the trace to --trace — Chrome trace_event at the given path plus the
+/// deterministic JSONL stream at "<path>.jsonl" (a path already ending in
+/// .jsonl writes the JSONL stream only).
+void export_plane(const Plane& plane, const util::ObsFlags& flags);
+
+}  // namespace ftc::obs

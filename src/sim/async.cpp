@@ -214,6 +214,12 @@ void AsyncNetwork::deliver(const DeliveryEvent& event) {
 }
 
 std::int64_t AsyncNetwork::run(std::int64_t max_pulses) {
+  const AsyncMetrics before = metrics_;
+  obs::SpanTimer run_span(
+      plane_ != nullptr ? &plane_->trace() : nullptr, obs::Category::kEngine,
+      obs::Severity::kInfo,
+      plane_ != nullptr ? plane_->builtin().n_async_run : obs::NameId{0}, 0);
+
   // Kick off pulse 0 everywhere; isolated nodes have no synchronization
   // constraints and run all their pulses immediately.
   for (NodeId v = 0; v < graph_->n(); ++v) {
@@ -249,6 +255,17 @@ std::int64_t AsyncNetwork::run(std::int64_t max_pulses) {
   std::int64_t slowest = 0;
   for (const auto& state : states_) {
     slowest = std::max(slowest, state.pulse);
+  }
+
+  if (plane_ != nullptr) {
+    obs::Registry& reg = plane_->metrics();
+    const obs::Builtin& b = plane_->builtin();
+    reg.add(b.async_pulses, metrics_.pulses - before.pulses);
+    reg.add(b.async_envelopes,
+            metrics_.envelopes_sent - before.envelopes_sent);
+    reg.add(b.async_payload_words,
+            metrics_.payload_words - before.payload_words);
+    run_span.set_args(metrics_.pulses, metrics_.envelopes_sent);
   }
   return slowest;
 }

@@ -122,6 +122,12 @@ class AsyncNetwork final : public NetworkBackend {
     return metrics_;
   }
 
+  /// Attaches an observability plane (obs/plane.h); nullptr detaches. The
+  /// asynchronous executor is single-threaded, so counters publish directly
+  /// (no shard staging). The plane must outlive the network.
+  void set_observability(obs::Plane* plane) noexcept { plane_ = plane; }
+  [[nodiscard]] obs::Plane* observability() const noexcept { return plane_; }
+
  private:
   // NetworkBackend:
   [[nodiscard]] const graph::Graph& backend_graph() const noexcept override {
@@ -214,6 +220,7 @@ class AsyncNetwork final : public NetworkBackend {
       events_;
   std::uint64_t sequence_ = 0;
   AsyncMetrics metrics_;
+  obs::Plane* plane_ = nullptr;
 
   // Scratch used while a process executes (for backend_send tagging).
   graph::NodeId executing_ = -1;

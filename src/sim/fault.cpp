@@ -216,6 +216,18 @@ const std::vector<FaultEvent>& FaultInjector::install(SyncNetwork& net,
       net.schedule_crash(e.node, e.round);
     }
   }
+  if (obs::Plane* pl = net.observability(); pl != nullptr) {
+    pl->metrics().add(pl->builtin().scheduled_crashes, crash_count());
+    pl->metrics().add(pl->builtin().scheduled_recoveries, recovery_count());
+    obs::TraceEvent e;
+    e.round = net.round();
+    e.category = obs::Category::kFault;
+    e.severity = obs::Severity::kInfo;
+    e.name = pl->builtin().n_fault_plan;
+    e.a0 = crash_count();
+    e.a1 = recovery_count();
+    pl->trace().emit(e);
+  }
   return schedule_;
 }
 

@@ -30,12 +30,19 @@ void HeartbeatMonitor::observe(Context& ctx) {
     suspected_.assign(neighbors_.size(), 0);
   }
 
+  obs::Recorder* const rec = ctx.obs();
   for (const Message& msg : ctx.inbox()) {
     const std::size_t j = index_of(msg.from);
     last_heard_[j] = ctx.round();
     if (suspected_[j]) {
       suspected_[j] = 0;
       ++refuted_suspicions_;
+      if (rec != nullptr) {
+        rec->count(rec->builtin().refutations);
+        rec->event(obs::Category::kDetector, obs::Severity::kInfo,
+                   rec->builtin().n_refute, ctx.round(),
+                   static_cast<std::int32_t>(ctx.self()), msg.from);
+      }
     }
   }
 
@@ -43,6 +50,13 @@ void HeartbeatMonitor::observe(Context& ctx) {
     if (!suspected_[j] && ctx.round() - last_heard_[j] > options_.timeout) {
       suspected_[j] = 1;
       ++suspicions_raised_;
+      if (rec != nullptr) {
+        rec->count(rec->builtin().suspicions);
+        rec->event(obs::Category::kDetector, obs::Severity::kInfo,
+                   rec->builtin().n_suspect, ctx.round(),
+                   static_cast<std::int32_t>(ctx.self()), neighbors_[j],
+                   ctx.round() - last_heard_[j]);
+      }
     }
   }
 }

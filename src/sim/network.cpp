@@ -112,6 +112,26 @@ void SyncNetwork::set_threads(int threads) {
   arena_cur_.resize(shards);
   shard_senders_cur_.resize(shards);
   shard_stats_.resize(shards);
+  sync_observability_shards();
+}
+
+void SyncNetwork::set_observability(obs::Plane* plane) {
+  plane_ = plane;
+  published_lost_ = messages_lost_;
+  sync_observability_shards();
+}
+
+void SyncNetwork::sync_observability_shards() {
+  if (plane_ == nullptr) {
+    recorders_.clear();
+    return;
+  }
+  plane_->set_shards(threads_);
+  if (static_cast<int>(recorders_.size()) != threads_) {
+    recorders_.clear();
+    recorders_.reserve(static_cast<std::size_t>(threads_));
+    for (int s = 0; s < threads_; ++s) recorders_.emplace_back(plane_, s);
+  }
 }
 
 void SyncNetwork::set_process(graph::NodeId v,
@@ -200,6 +220,16 @@ void SyncNetwork::crash(graph::NodeId v) {
   assert(v >= 0 && v < graph_->n());
   const auto idx = static_cast<std::size_t>(v);
   if (crashed_[idx]) return;
+  if (plane_ != nullptr) {
+    plane_->metrics().add(plane_->builtin().crashes, 1);
+    obs::TraceEvent e;
+    e.round = round_;
+    e.node = static_cast<std::int32_t>(v);
+    e.category = obs::Category::kFault;
+    e.severity = obs::Severity::kInfo;
+    e.name = plane_->builtin().n_crash;
+    plane_->trace().emit(e);
+  }
   if (counts_as_running(v)) --running_count_;
   crashed_[idx] = true;
   --live_count_;
@@ -229,6 +259,16 @@ void SyncNetwork::recover(graph::NodeId v, std::unique_ptr<Process> process) {
   if (crashed_[idx]) {
     crashed_[idx] = false;
     ++live_count_;
+    if (plane_ != nullptr) {  // churn rejoin (not a live process swap)
+      plane_->metrics().add(plane_->builtin().recoveries, 1);
+      obs::TraceEvent e;
+      e.round = round_;
+      e.node = static_cast<std::int32_t>(v);
+      e.category = obs::Category::kFault;
+      e.severity = obs::Severity::kInfo;
+      e.name = plane_->builtin().n_recover;
+      plane_->trace().emit(e);
+    }
   }
   inboxes_[idx].clear();
   out_cur_[idx].clear();
@@ -259,6 +299,9 @@ void SyncNetwork::check_counters() const noexcept {
 void SyncNetwork::execute_nodes(graph::NodeId begin, graph::NodeId end,
                                 int shard) {
   ShardStats& stats = shard_stats_[static_cast<std::size_t>(shard)];
+  obs::Recorder* const rec =
+      recorders_.empty() ? nullptr
+                         : &recorders_[static_cast<std::size_t>(shard)];
   for (NodeId v = begin; v < end; ++v) {
     const auto idx = static_cast<std::size_t>(v);
     Process* p = processes_[idx].get();
@@ -269,6 +312,7 @@ void SyncNetwork::execute_nodes(graph::NodeId begin, graph::NodeId end,
     ctx.self_ = v;
     ctx.round_ = round_;
     ctx.rng_ = &rngs_[idx];
+    ctx.obs_ = rec;
     ctx.inbox_ = {inboxes_[idx].data(), inboxes_[idx].size()};
     p->on_round(ctx);
     if (p->halted()) ++stats.newly_halted;
@@ -305,7 +349,22 @@ void SyncNetwork::deliver_round() {
 }
 
 bool SyncNetwork::step() {
-  apply_scheduled_events();
+  // Observability is published at the sequential barriers only; `pl` stays
+  // null on the default path, which then costs one branch per phase.
+  obs::Plane* const pl = plane_;
+  obs::Trace* const tr = pl != nullptr ? &pl->trace() : nullptr;
+  const obs::Builtin* const b = pl != nullptr ? &pl->builtin() : nullptr;
+  const std::int64_t executed_round = round_;
+  if (pl != nullptr) sync_observability_shards();
+  auto phase_span = [&](obs::NameId name) {
+    return obs::SpanTimer(tr, obs::Category::kEngine, obs::Severity::kDebug,
+                          name, executed_round);
+  };
+
+  {
+    obs::SpanTimer span = phase_span(b != nullptr ? b->n_fault_apply : 0);
+    apply_scheduled_events();
+  }
 
   // Run every live, unhalted process against the inbox delivered at the end
   // of the previous round. Shards stage into disjoint state; everything
@@ -320,20 +379,46 @@ bool SyncNetwork::step() {
     execute_nodes(static_cast<NodeId>(std::min(lo, static_cast<std::size_t>(n))),
                   static_cast<NodeId>(hi), s);
   };
-  if (pool_ == nullptr) {
-    for (int s = 0; s < shards; ++s) run_shard(s);
-  } else {
-    pool_->run(shards, run_shard);
-  }
-  for (const ShardStats& st : shard_stats_) {
-    metrics_.messages_sent += st.messages;
-    metrics_.words_sent += st.words;
-    metrics_.max_message_words =
-        std::max(metrics_.max_message_words, st.max_words);
-    running_count_ -= st.newly_halted;
+  {
+    obs::SpanTimer span = phase_span(b != nullptr ? b->n_execute : 0);
+    if (pool_ == nullptr) {
+      for (int s = 0; s < shards; ++s) run_shard(s);
+    } else {
+      pool_->run(shards, run_shard);
+    }
   }
 
-  deliver_round();
+  std::int64_t round_messages = 0;
+  std::int64_t round_words = 0;
+  std::int64_t arena_words = 0;
+  {
+    obs::SpanTimer span = phase_span(b != nullptr ? b->n_merge : 0);
+    for (const ShardStats& st : shard_stats_) {
+      round_messages += st.messages;
+      round_words += st.words;
+      metrics_.max_message_words =
+          std::max(metrics_.max_message_words, st.max_words);
+      running_count_ -= st.newly_halted;
+    }
+    metrics_.messages_sent += round_messages;
+    metrics_.words_sent += round_words;
+    if (pl != nullptr) {
+      // The registry receives the same merged deltas as metrics_, from this
+      // same barrier — the two views cannot drift apart.
+      pl->metrics().add(b->messages, round_messages);
+      pl->metrics().add(b->words, round_words);
+      for (const auto& arena : arena_cur_) {
+        arena_words += static_cast<std::int64_t>(arena.size());
+      }
+      pl->merge_shards();  // worker-staged process events, shard order
+      span.set_args(round_messages, round_words);
+    }
+  }
+
+  {
+    obs::SpanTimer span = phase_span(b != nullptr ? b->n_deliver : 0);
+    deliver_round();
+  }
 
   // Generation swap: the arena just written now backs the new inboxes; the
   // one delivered two rounds ago is recycled for the next round's sends.
@@ -355,6 +440,29 @@ bool SyncNetwork::step() {
 
   ++round_;
   metrics_.rounds = round_;
+
+  if (pl != nullptr) {
+    obs::Registry& reg = pl->metrics();
+    reg.add(b->rounds, 1);
+    const std::int64_t lost_delta = messages_lost_ - published_lost_;
+    if (lost_delta != 0) {
+      reg.add(b->messages_lost, lost_delta);
+      published_lost_ = messages_lost_;
+    }
+    reg.set(b->live_nodes, live_count_);
+    reg.set(b->running_nodes, running_count_);
+    reg.set(b->arena_words, arena_words);
+    reg.set(b->max_message_words, metrics_.max_message_words);
+    reg.record(b->messages_per_round, static_cast<double>(round_messages));
+    obs::TraceEvent e;
+    e.round = executed_round;
+    e.category = obs::Category::kEngine;
+    e.severity = obs::Severity::kInfo;
+    e.name = b->n_round;
+    e.a0 = round_messages;
+    e.a1 = live_count_;
+    tr->emit(e);
+  }
 
   check_counters();
   // Nobody running can still mean progress: pending rejoins wake the net.

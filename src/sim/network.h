@@ -52,6 +52,7 @@
 
 #include "geom/udg.h"
 #include "graph/graph.h"
+#include "obs/plane.h"
 #include "sim/message.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -61,11 +62,20 @@ namespace ftc::sim {
 class SyncNetwork;
 
 /// Execution statistics gathered by the network.
+///
+/// These counters are a fixed-cost convenience view; when an observability
+/// plane is attached (set_observability) the network publishes the *same*
+/// merged per-round deltas into the plane's registry from the same barrier
+/// code path, so the struct and the registry cannot drift apart — asserted
+/// by the ObsWiring tests.
 struct Metrics {
   std::int64_t rounds = 0;            ///< rounds executed
   std::int64_t messages_sent = 0;     ///< total messages
   std::int64_t words_sent = 0;        ///< total payload words
   std::int64_t max_message_words = 0; ///< largest single message
+
+  /// Zeroes every counter.
+  void reset() noexcept { *this = Metrics{}; }
 
   friend bool operator==(const Metrics&, const Metrics&) = default;
 };
@@ -120,6 +130,12 @@ class Context {
   /// This node's private random stream (stable across rounds).
   [[nodiscard]] util::Rng& rng() noexcept { return *rng_; }
 
+  /// Shard-bound observability recorder, or nullptr when no plane is
+  /// attached. Everything a process emits through it stages into its shard
+  /// and merges deterministically at the round barrier, so instrumentation
+  /// cannot perturb the set_threads determinism contract.
+  [[nodiscard]] obs::Recorder* obs() const noexcept { return obs_; }
+
   /// Messages delivered to this node at the start of this round (sent by
   /// neighbors in the previous round), sorted by sender id. The views are
   /// only valid for the duration of this on_round() call.
@@ -149,6 +165,7 @@ class Context {
   graph::NodeId self_ = -1;
   std::int64_t round_ = 0;
   util::Rng* rng_ = nullptr;
+  obs::Recorder* obs_ = nullptr;
   std::span<const Message> inbox_;
 };
 
@@ -209,6 +226,17 @@ class SyncNetwork final : public NetworkBackend {
 
   /// Execution streams step() currently uses.
   [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Attaches an observability plane (metrics registry + structured trace);
+  /// nullptr detaches. The plane must outlive the network. All publication
+  /// happens at the sequential round barrier (per-shard staging merged in
+  /// shard order), so attaching a plane preserves the bitwise determinism
+  /// of set_threads; wall-clock timings only ever reach the Chrome trace
+  /// exporter, never the deterministic JSONL stream.
+  void set_observability(obs::Plane* plane);
+
+  /// The attached plane, or nullptr.
+  [[nodiscard]] obs::Plane* observability() const noexcept { return plane_; }
 
   /// Runs rounds until every live process has halted or `max_rounds` rounds
   /// have executed. Returns the number of rounds executed in this call.
@@ -387,6 +415,15 @@ class SyncNetwork final : public NetworkBackend {
   std::int64_t messages_lost_ = 0;
   std::int64_t round_ = 0;
   Metrics metrics_;
+
+  // Observability (null = disabled; the hot path then costs one branch per
+  // round phase plus one pointer store per node context).
+  obs::Plane* plane_ = nullptr;
+  std::vector<obs::Recorder> recorders_;     ///< one per shard
+  std::int64_t published_lost_ = 0;          ///< messages_lost_ already published
+
+  /// (Re)sizes the plane's shard staging and recorders to threads_.
+  void sync_observability_shards();
 };
 
 }  // namespace ftc::sim

@@ -104,4 +104,14 @@ std::vector<long long> Args::get_int_list(
   return out;
 }
 
+ObsFlags parse_obs_flags(const Args& args) {
+  ObsFlags flags;
+  flags.trace_path = args.get_string("trace", "");
+  flags.metrics_path = args.get_string("metrics", "");
+  flags.categories = args.get_string("trace-categories", "");
+  flags.severity = args.get_string("trace-severity", "");
+  flags.capacity = args.get_int("trace-capacity", flags.capacity);
+  return flags;
+}
+
 }  // namespace ftc::util

@@ -60,4 +60,34 @@ class Args {
   std::vector<std::string> positional_;
 };
 
+/// The --trace / --metrics flag group shared by bench, example, and tool
+/// binaries (consumed by obs::make_plane / obs::export_plane):
+///
+///   --trace=FILE            Chrome trace_event file at FILE plus the
+///                           deterministic JSONL stream at FILE.jsonl
+///                           (FILE ending in .jsonl writes JSONL only)
+///   --metrics=FILE          metric registry dumped as JSON
+///   --trace-categories=a,b  engine,message,fault,detector,repair,algo,user
+///                           (default: all)
+///   --trace-severity=S      debug | info | warn | error (default: debug)
+///   --trace-capacity=N      trace ring capacity in events
+///
+/// Kept here as plain strings so the flag syntax lives with the parser and
+/// util stays below obs in the layering.
+struct ObsFlags {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string categories;
+  std::string severity;
+  long long capacity = 1 << 18;
+
+  /// True when any output was requested (observability should be attached).
+  [[nodiscard]] bool enabled() const noexcept {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+};
+
+/// Extracts the flag group from parsed arguments.
+[[nodiscard]] ObsFlags parse_obs_flags(const Args& args);
+
 }  // namespace ftc::util

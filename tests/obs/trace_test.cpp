@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace {
+
+using ftc::obs::Category;
+using ftc::obs::category_bit;
+using ftc::obs::NameId;
+using ftc::obs::parse_category;
+using ftc::obs::parse_severity;
+using ftc::obs::Severity;
+using ftc::obs::SpanTimer;
+using ftc::obs::Trace;
+using ftc::obs::TraceEvent;
+
+TraceEvent make_event(std::int64_t round, Category cat = Category::kEngine,
+                      Severity sev = Severity::kInfo, NameId name = 0) {
+  TraceEvent e;
+  e.round = round;
+  e.category = cat;
+  e.severity = sev;
+  e.name = name;
+  return e;
+}
+
+TEST(TraceNames, ParseRoundTrips) {
+  Category c;
+  EXPECT_TRUE(parse_category("repair", c));
+  EXPECT_EQ(c, Category::kRepair);
+  EXPECT_FALSE(parse_category("bogus", c));
+  Severity s;
+  EXPECT_TRUE(parse_severity("warn", s));
+  EXPECT_EQ(s, Severity::kWarn);
+  EXPECT_FALSE(parse_severity("loud", s));
+}
+
+TEST(TraceFilter, SeverityAndCategoryMask) {
+  Trace::Options options;
+  options.min_severity = Severity::kInfo;
+  options.category_mask = category_bit(Category::kFault);
+  Trace trace(options);
+  trace.emit(make_event(1, Category::kFault, Severity::kDebug));  // too quiet
+  trace.emit(make_event(2, Category::kEngine, Severity::kWarn));  // masked cat
+  trace.emit(make_event(3, Category::kFault, Severity::kInfo));   // kept
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.events()[0].round, 3);
+  EXPECT_EQ(trace.dropped(), 0);  // filtered ≠ dropped (ring eviction)
+}
+
+TEST(TraceRing, EvictsOldestAndCountsDrops) {
+  Trace::Options options;
+  options.capacity = 4;
+  Trace trace(options);
+  for (int i = 0; i < 10; ++i) trace.emit(make_event(i));
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].round, 6 + i);  // oldest first
+  }
+}
+
+TEST(TraceShards, MergeAppendsInAscendingShardOrder) {
+  Trace trace;
+  trace.set_shards(3);
+  trace.shard_emit(2, make_event(102));
+  trace.shard_emit(0, make_event(100));
+  trace.shard_emit(1, make_event(101));
+  trace.shard_emit(0, make_event(110));
+  EXPECT_EQ(trace.size(), 0u);  // staged, not yet visible
+  trace.merge_shards();
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].round, 100);
+  EXPECT_EQ(events[1].round, 110);  // within-shard emission order kept
+  EXPECT_EQ(events[2].round, 101);
+  EXPECT_EQ(events[3].round, 102);
+}
+
+TEST(TraceExport, JsonlHasLogicalFieldsOnly) {
+  Trace trace;
+  const NameId name = trace.intern("crash");
+  TraceEvent e = make_event(7, Category::kFault, Severity::kWarn, name);
+  e.node = 3;
+  e.a0 = 42;
+  e.a1 = -1;
+  trace.emit(e);
+  std::ostringstream os;
+  trace.export_jsonl(os);
+  EXPECT_EQ(os.str(),
+            "{\"round\":7,\"node\":3,\"cat\":\"fault\",\"sev\":\"warn\","
+            "\"name\":\"crash\",\"a0\":42,\"a1\":-1}\n");
+  // The wall clock must never leak into the deterministic stream.
+  EXPECT_EQ(os.str().find("wall"), std::string::npos);
+  EXPECT_EQ(os.str().find("dur"), std::string::npos);
+  EXPECT_EQ(os.str().find("ts"), std::string::npos);
+}
+
+TEST(TraceExport, ChromeShape) {
+  Trace trace;
+  const NameId span_name = trace.intern("engine.execute");
+  {
+    SpanTimer span(&trace, Category::kEngine, Severity::kDebug, span_name, 5);
+  }
+  trace.emit(make_event(6, Category::kFault, Severity::kInfo,
+                        trace.intern("crash")));
+  std::ostringstream os;
+  trace.export_chrome(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // the span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // the instant
+  EXPECT_NE(json.find("\"name\":\"engine.execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST(TraceSpan, FilteredOrNullSpanIsNoop) {
+  Trace::Options options;
+  options.min_severity = Severity::kWarn;
+  Trace trace(options);
+  {
+    SpanTimer null_span(nullptr, Category::kEngine, Severity::kError, 0, 1);
+    SpanTimer filtered(&trace, Category::kEngine, Severity::kDebug, 0, 1);
+  }
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceSpan, RecordsArgsAndPositiveDuration) {
+  Trace trace;
+  const NameId name = trace.intern("phase");
+  {
+    SpanTimer span(&trace, Category::kEngine, Severity::kInfo, name, 9, 4);
+    span.set_args(11, 22);
+  }
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].round, 9);
+  EXPECT_EQ(events[0].node, 4);
+  EXPECT_EQ(events[0].a0, 11);
+  EXPECT_EQ(events[0].a1, 22);
+  EXPECT_GT(events[0].dur_ns, 0);
+}
+
+TEST(TraceNames, InternIsIdempotent) {
+  Trace trace;
+  const NameId a = trace.intern("x");
+  EXPECT_EQ(trace.intern("x"), a);
+  EXPECT_EQ(trace.name(a), "x");
+  EXPECT_NE(trace.intern("y"), a);
+  EXPECT_EQ(trace.name(0), "?");  // reserved un-interned name
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// ftc-trace — inspect the JSONL stream written by --trace (obs/trace.h).
+//
+//   ftc-trace summary soak.trace.jsonl
+//   ftc-trace dump soak.trace.jsonl [--cat=repair] [--sev=info]
+//                                   [--node=17] [--from=100] [--to=200]
+//                                   [--limit=50]
+//
+// The JSONL stream is the deterministic half of a trace (logical fields
+// only; see DESIGN.md §7), so everything printed here is bitwise
+// reproducible across runs and thread counts. `summary` aggregates event
+// counts per name and per category/severity plus the covered round span;
+// `dump` re-prints matching lines (the Chrome .trace companion is for
+// Perfetto / about:tracing, not for this tool).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace ftc;
+
+/// One parsed JSONL record. Only the fields the exporter writes.
+struct Line {
+  long long round = 0;
+  long long node = -1;
+  std::string cat;
+  std::string sev;
+  std::string name;
+  long long a0 = 0;
+  long long a1 = 0;
+};
+
+/// Extracts `"key":<integer>` from the fixed exporter format.
+bool get_ll(const std::string& s, const std::string& key, long long& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = s.find(needle);
+  if (pos == std::string::npos) return false;
+  try {
+    out = std::stoll(s.substr(pos + needle.size()));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+/// Extracts `"key":"<string>"`.
+bool get_str(const std::string& s, const std::string& key, std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = s.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto begin = pos + needle.size();
+  const auto end = s.find('"', begin);
+  if (end == std::string::npos) return false;
+  out = s.substr(begin, end - begin);
+  return true;
+}
+
+bool parse_line(const std::string& s, Line& out) {
+  return get_ll(s, "round", out.round) && get_ll(s, "node", out.node) &&
+         get_str(s, "cat", out.cat) && get_str(s, "sev", out.sev) &&
+         get_str(s, "name", out.name) && get_ll(s, "a0", out.a0) &&
+         get_ll(s, "a1", out.a1);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <summary|dump> <trace.jsonl>\n"
+               "  [--cat=engine|message|fault|detector|repair|algo|user]\n"
+               "  [--sev=debug|info|warn|error] [--node=N]\n"
+               "  [--from=ROUND] [--to=ROUND] [--limit=N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.positional().size() < 2) return usage(argv[0]);
+  const std::string mode = args.positional()[0];
+  const std::string path = args.positional()[1];
+  if (mode != "summary" && mode != "dump") return usage(argv[0]);
+
+  const std::string want_cat = args.get_string("cat", "");
+  const std::string want_sev = args.get_string("sev", "");
+  const long long want_node = args.get_int("node", -2);
+  const long long from = args.get_int("from", 0);
+  const long long to =
+      args.get_int("to", std::numeric_limits<long long>::max());
+  const long long limit = args.get_int("limit", 0);
+
+  if (!want_cat.empty()) {
+    obs::Category c;
+    if (!obs::parse_category(want_cat, c)) {
+      std::fprintf(stderr, "unknown category '%s'\n", want_cat.c_str());
+      return 2;
+    }
+  }
+  if (!want_sev.empty()) {
+    obs::Severity s;
+    if (!obs::parse_severity(want_sev, s)) {
+      std::fprintf(stderr, "unknown severity '%s'\n", want_sev.c_str());
+      return 2;
+    }
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  long long total = 0, matched = 0, malformed = 0, printed = 0;
+  long long min_round = std::numeric_limits<long long>::max();
+  long long max_round = std::numeric_limits<long long>::min();
+  std::map<std::string, long long> by_name;      // "cat/name" -> count
+  std::map<std::string, long long> by_severity;  // "sev" -> count
+  std::string raw;
+  while (std::getline(in, raw)) {
+    if (raw.empty()) continue;
+    ++total;
+    Line line;
+    if (!parse_line(raw, line)) {
+      ++malformed;
+      continue;
+    }
+    if (!want_cat.empty() && line.cat != want_cat) continue;
+    if (!want_sev.empty() && line.sev != want_sev) continue;
+    if (want_node != -2 && line.node != want_node) continue;
+    if (line.round < from || line.round > to) continue;
+    ++matched;
+    min_round = std::min(min_round, line.round);
+    max_round = std::max(max_round, line.round);
+    if (mode == "dump") {
+      if (limit > 0 && printed >= limit) break;
+      std::printf("%s\n", raw.c_str());
+      ++printed;
+      continue;
+    }
+    by_name[line.cat + "/" + line.name] += 1;
+    by_severity[line.sev] += 1;
+  }
+
+  if (mode == "summary") {
+    std::printf("%s: %lld events (%lld matched filters", path.c_str(), total,
+                matched);
+    if (malformed > 0) std::printf(", %lld malformed", malformed);
+    std::printf(")\n");
+    if (matched > 0) {
+      std::printf("rounds %lld..%lld\n", min_round, max_round);
+      std::printf("by severity:\n");
+      for (const auto& [sev, count] : by_severity) {
+        std::printf("  %-8s %10lld\n", sev.c_str(), count);
+      }
+      // Names sorted by count, descending, for a "what dominated" view.
+      std::vector<std::pair<std::string, long long>> names(by_name.begin(),
+                                                           by_name.end());
+      std::sort(names.begin(), names.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+      });
+      std::printf("by event (cat/name):\n");
+      for (const auto& [name, count] : names) {
+        std::printf("  %-28s %10lld\n", name.c_str(), count);
+      }
+    }
+  }
+  return malformed == 0 ? 0 : 1;
+}
