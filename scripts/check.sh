@@ -8,6 +8,11 @@
 #   FTC_SANITIZE=thread scripts/check.sh    TSan over the parallel round
 #                                           engine tests (default build dir:
 #                                           build-tsan)
+#   scripts/check.sh fuzz-smoke [build-dir] short fixed-seed ftc-fuzz
+#                                           campaign under ASan+UBSan
+#   scripts/check.sh selftest               verify that a failing ctest
+#                                           propagates to this script's exit
+#                                           code (regression guard, no build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +27,55 @@ configure() {
   fi
 }
 
+# All ctest invocations go through this wrapper so a test failure reaches the
+# caller as a nonzero exit even if a later edit drops `set -e`, appends
+# commands after the ctest line, or folds the call into a conditional. The
+# `selftest` mode below regression-guards exactly this property.
+run_ctest() {
+  local status=0
+  ctest "$@" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "check.sh: ctest failed (exit $status) — propagating" >&2
+    exit 1
+  fi
+}
+
+if [ "${1:-}" = "selftest" ]; then
+  # Shim ctest with fakes and assert run_ctest propagates their exit codes.
+  SHIM_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SHIM_DIR"' EXIT
+  printf '#!/bin/sh\nexit 7\n' > "$SHIM_DIR/ctest"
+  chmod +x "$SHIM_DIR/ctest"
+  status=0
+  (PATH="$SHIM_DIR:$PATH" run_ctest --version) >/dev/null 2>&1 || status=$?
+  if [ "$status" -eq 0 ]; then
+    echo "check.sh selftest: FAILED — a failing ctest did not propagate" >&2
+    exit 1
+  fi
+  printf '#!/bin/sh\nexit 0\n' > "$SHIM_DIR/ctest"
+  status=0
+  (PATH="$SHIM_DIR:$PATH" run_ctest --version) >/dev/null 2>&1 || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "check.sh selftest: FAILED — a passing ctest reported failure" >&2
+    exit 1
+  fi
+  echo "check.sh selftest: OK — ctest failures propagate"
+  exit 0
+fi
+
+if [ "${1:-}" = "fuzz-smoke" ]; then
+  # Short adversarial campaign under ASan+UBSan: 2000 fixed-seed cases
+  # through the full invariant library (see DESIGN.md §8). Deterministic, so
+  # a failure is a regression with a one-line repro, never a flake.
+  BUILD_DIR="${2:-build-asan}"
+  configure -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFTC_SANITIZE=address
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target ftc-fuzz
+  "$BUILD_DIR/tools/ftc-fuzz" run --cases=2000 --seed=1 --progress=500
+  exit 0
+fi
+
 if [ "$MODE" = "thread" ]; then
   BUILD_DIR="${1:-build-tsan}"
   configure -B "$BUILD_DIR" -S . \
@@ -32,7 +86,7 @@ if [ "$MODE" = "thread" ]; then
   # (which drive SyncNetwork — with and without an observability plane — at
   # many widths), and the simcore bench smoke (the parallel engine against a
   # live workload).
-  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  run_ctest --test-dir "$BUILD_DIR" --output-on-failure \
     -R 'ThreadPool|ParallelDeterminism|TraceDeterminism|smoke_p1'
 else
   BUILD_DIR="${1:-build-asan}"
@@ -40,5 +94,5 @@ else
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFTC_SANITIZE=address
   cmake --build "$BUILD_DIR" -j "$(nproc)"
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+  run_ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 fi

@@ -1,0 +1,156 @@
+// Seed-driven random test-case generation for the adversarial fuzzing
+// harness (DESIGN.md §8).
+//
+// The paper's guarantees quantify over *all* graphs, demand vectors, fault
+// patterns, and message schedules; hand-picked unit-test instances explore a
+// vanishingly small corner of that space. A FuzzCase is a declarative,
+// fully-serializable description of one randomized instance — topology
+// family and size, demands, algorithm parameters, engine width, async delay
+// schedule, loss rate, and fault plan — derived as a pure function of a
+// single 64-bit case seed. Everything downstream (materialization, the
+// invariant checks in invariants.h, the runner) is deterministic given the
+// case, which is what makes every failure a one-line repro and makes
+// shrinking (runner.h) sound: a shrunk case is just another FuzzCase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "domination/domination.h"
+#include "geom/udg.h"
+#include "graph/graph.h"
+
+namespace ftc::testing {
+
+/// Topology families the generator draws from. UDG families carry an
+/// embedding and additionally exercise Algorithm 3 + region faults.
+enum class GraphFamily : std::int32_t {
+  kGnp = 0,
+  kGnm,
+  kBarabasiAlbert,
+  kTree,
+  kGrid,
+  kPath,
+  kCycle,
+  kStar,
+  kComplete,
+  kRegular,
+  kCaveman,
+  kWattsStrogatz,
+  kUdgUniform,
+  kUdgClustered,
+};
+
+/// Number of GraphFamily values (for drawing and validation).
+inline constexpr std::int32_t kGraphFamilyCount = 14;
+
+/// Fault-process shapes a case may carry (compiled via sim::FaultPlan).
+enum class FaultKind : std::int32_t {
+  kNone = 0,
+  kIid,
+  kTargeted,
+  kChurn,
+  kRegion,  ///< UDG families only
+};
+
+/// Bounds the generator samples within. The defaults keep instances small
+/// enough that a full oracle battery runs in well under a millisecond and
+/// tens of thousands of cases stay interactive.
+struct FuzzConfig {
+  graph::NodeId min_n = 3;
+  graph::NodeId max_n = 56;
+  std::int32_t max_k = 4;    ///< maximum coverage demand
+  int max_t = 4;             ///< maximum LP trade-off parameter
+  double max_loss = 0.3;     ///< maximum message-loss probability
+  /// Nodes at or below which the exact branch-and-bound oracle is eligible.
+  graph::NodeId exact_oracle_max_n = 22;
+};
+
+/// One fully-specified fuzz case. All fields that affect execution are
+/// explicit (no hidden state), so to_string()/parse_fuzz_case() round-trips
+/// reproduce the exact instance bit for bit.
+struct FuzzCase {
+  std::uint64_t case_seed = 0;  ///< the seed this case was derived from
+
+  // Topology.
+  GraphFamily family = GraphFamily::kGnp;
+  graph::NodeId n = 8;      ///< target node count (families may adjust)
+  double p = 0.1;           ///< gnp edge prob / watts_strogatz beta
+  graph::NodeId aux = 1;    ///< attach / degree / rows / cliques / k_nearest
+  double avg_degree = 6.0;  ///< UDG families: target average degree
+  std::uint64_t graph_seed = 1;  ///< randomness of the generator itself
+
+  // Demands.
+  std::int32_t k = 1;            ///< max (uniform_demands) demand level
+  bool uniform_demand = true;    ///< false: per-node demand in [1, k]
+
+  // Algorithm parameters.
+  int t = 2;                     ///< Algorithm 1 trade-off parameter
+  std::uint64_t algo_seed = 1;   ///< network / mirror seed
+
+  // Schedule exploration.
+  int threads = 1;               ///< parallel engine width to cross-check
+  std::int64_t min_delay = 1;    ///< async uniform link-delay bounds
+  std::int64_t max_delay = 8;
+  std::uint64_t delay_seed = 1;  ///< async delay randomness
+  double loss = 0.0;             ///< message-loss probability
+
+  // Fault process.
+  FaultKind fault_kind = FaultKind::kNone;
+  double fault_rate = 0.0;       ///< iid / churn per-round crash probability
+  graph::NodeId fault_count = 0; ///< targeted: victims; region: unused
+  std::uint64_t fault_seed = 1;
+  std::int64_t horizon = 20;     ///< rounds the fault plan spans
+
+  // Which optional invariant suites this case runs (the mandatory LP +
+  // rounding battery always runs). Drawn as random toggles so a long fuzz
+  // run amortizes the expensive oracles over the whole campaign.
+  bool run_differential = true;   ///< mirror vs distributed vs parallel
+  bool run_async = false;         ///< sync vs async schedule independence
+  bool run_small_oracles = false; ///< exact / greedy cross-checks
+  bool run_obs = false;           ///< observability-plane consistency
+
+  friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
+};
+
+/// A materialized case: the concrete topology plus the (feasible, clamped)
+/// demand vector the invariants run against.
+struct Instance {
+  graph::Graph g;               ///< used when !has_udg
+  geom::UnitDiskGraph udg;      ///< used when has_udg (graph lives inside)
+  bool has_udg = false;
+  domination::Demands demands;  ///< clamped to feasibility, size = n
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept {
+    return has_udg ? udg.graph : g;
+  }
+};
+
+/// Derives the case for `case_seed` — a pure function of (case_seed,
+/// config); equal inputs yield equal cases.
+[[nodiscard]] FuzzCase generate_case(std::uint64_t case_seed,
+                                     const FuzzConfig& config = {});
+
+/// Case seed of campaign case `index` under root seed `seed` (the stream
+/// the runner and the CLI both use, so any reported case is replayable from
+/// its seed alone).
+[[nodiscard]] std::uint64_t case_seed_of(std::uint64_t root_seed,
+                                         std::int64_t index);
+
+/// Builds the concrete instance a case describes. Family parameters are
+/// defensively clamped to valid ranges so that *any* field mutation the
+/// shrinker performs still yields a well-formed instance. Deterministic.
+[[nodiscard]] Instance materialize(const FuzzCase& c);
+
+/// Human-readable family name ("gnp", "udg_uniform", ...).
+[[nodiscard]] const char* family_name(GraphFamily family);
+
+/// Serializes a case as a single "key=value key=value ..." line carrying
+/// full double precision; parse_fuzz_case() inverts it exactly.
+[[nodiscard]] std::string to_string(const FuzzCase& c);
+
+/// Parses a line produced by to_string(). Throws std::invalid_argument on
+/// malformed input or unknown keys.
+[[nodiscard]] FuzzCase parse_fuzz_case(const std::string& line);
+
+}  // namespace ftc::testing

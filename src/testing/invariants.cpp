@@ -1,0 +1,607 @@
+#include "testing/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "algo/baseline/greedy.h"
+#include "algo/exact/exact.h"
+#include "algo/extensions/repair.h"
+#include "algo/extensions/repair_process.h"
+#include "algo/lp/lp_kmds_process.h"
+#include "algo/rounding/rounding.h"
+#include "algo/rounding/rounding_process.h"
+#include "algo/udg/udg_kmds.h"
+#include "algo/udg/udg_kmds_process.h"
+#include "domination/bounds.h"
+#include "domination/fractional.h"
+#include "obs/plane.h"
+#include "sim/async.h"
+#include "sim/fault.h"
+#include "sim/network.h"
+
+namespace ftc::testing {
+
+using domination::Demands;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+void add(Violations& out, const char* invariant, std::string detail) {
+  out.push_back({invariant, std::move(detail)});
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+// ---------------------------------------------------------------- LP + rounding
+
+void check_rounding_result(const Graph& g, const Demands& demands,
+                           const algo::RoundingResult& r, Violations& out) {
+  check_coverage_invariant(g, demands, r.set, "rounding", out);
+  if (!std::is_sorted(r.set.begin(), r.set.end()) ||
+      std::adjacent_find(r.set.begin(), r.set.end()) != r.set.end()) {
+    add(out, "rounding.set_canonical", "set not sorted/unique");
+  }
+  for (NodeId v : r.set) {
+    if (v < 0 || v >= g.n()) {
+      add(out, "rounding.set_canonical", "member id out of range");
+      break;
+    }
+  }
+  if (r.chosen_by_coin + r.chosen_by_request !=
+      static_cast<std::int64_t>(r.set.size())) {
+    add(out, "rounding.accounting",
+        "coin + request != |set|: " + std::to_string(r.chosen_by_coin) + "+" +
+            std::to_string(r.chosen_by_request) + " vs " +
+            std::to_string(r.set.size()));
+  }
+}
+
+// ------------------------------------------------------------- distributed runs
+
+struct LpDistRun {
+  std::vector<double> x, y, z;
+  sim::Metrics metrics;
+  std::int64_t executed = 0;
+
+  friend bool operator==(const LpDistRun&, const LpDistRun&) = default;
+};
+
+LpDistRun run_lp_distributed(const Graph& g, const Demands& demands, int t,
+                             std::uint64_t seed, int threads, double loss) {
+  sim::SyncNetwork net(g, seed);
+  net.set_threads(threads);
+  if (loss > 0.0) net.set_message_loss(loss, seed ^ 0x10551055ULL);
+  net.set_all_processes([&](NodeId v) {
+    return std::make_unique<algo::LpKmdsProcess>(
+        demands[static_cast<std::size_t>(v)], t);
+  });
+  LpDistRun run;
+  run.executed = net.run(algo::lp_round_count(t) + 8);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto& proc = net.process_as<algo::LpKmdsProcess>(v);
+    run.x.push_back(proc.x());
+    run.y.push_back(proc.y());
+    run.z.push_back(proc.z());
+  }
+  run.metrics = net.metrics();
+  return run;
+}
+
+struct RoundingDistRun {
+  std::vector<NodeId> set;
+  sim::Metrics metrics;
+  std::int64_t executed = 0;
+
+  friend bool operator==(const RoundingDistRun&, const RoundingDistRun&) =
+      default;
+};
+
+RoundingDistRun run_rounding_distributed(const Graph& g,
+                                         const std::vector<double>& x,
+                                         const Demands& demands,
+                                         std::uint64_t seed, int threads,
+                                         double loss, obs::Plane* plane) {
+  sim::SyncNetwork net(g, seed);
+  net.set_threads(threads);
+  if (plane != nullptr) net.set_observability(plane);
+  if (loss > 0.0) net.set_message_loss(loss, seed ^ 0x10551055ULL);
+  net.set_all_processes([&](NodeId v) {
+    const auto i = static_cast<std::size_t>(v);
+    return std::make_unique<algo::RoundingProcess>(x[i], demands[i]);
+  });
+  RoundingDistRun run;
+  run.executed = net.run(8);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (net.process_as<algo::RoundingProcess>(v).in_set()) {
+      run.set.push_back(v);
+    }
+  }
+  run.metrics = net.metrics();
+  return run;
+}
+
+void check_differential(const FuzzCase& c, const Graph& g,
+                        const Demands& demands, const algo::LpResult& mirror_lp,
+                        const algo::RoundingResult& mirror_rounding,
+                        Violations& out) {
+  // Mirror vs distributed (lossless contract): the per-node processes must
+  // reproduce the centralized mirror bit for bit.
+  if (c.loss == 0.0) {
+    const LpDistRun serial =
+        run_lp_distributed(g, demands, c.t, c.algo_seed, 1, 0.0);
+    if (serial.x != mirror_lp.primal.x || serial.y != mirror_lp.dual.y ||
+        serial.z != mirror_lp.dual.z) {
+      add(out, "lp.differential", "distributed LP != centralized mirror");
+    }
+    if (serial.executed != mirror_lp.rounds) {
+      add(out, "term.lp",
+          "distributed LP rounds " + std::to_string(serial.executed) +
+              " != mirror " + std::to_string(mirror_lp.rounds));
+    }
+    if (serial.metrics.max_message_words > 3) {
+      add(out, "lp.message_bound",
+          "LP message exceeded 3 words: " +
+              std::to_string(serial.metrics.max_message_words));
+    }
+    if (c.threads > 1) {
+      const LpDistRun parallel =
+          run_lp_distributed(g, demands, c.t, c.algo_seed, c.threads, 0.0);
+      if (parallel != serial) {
+        add(out, "engine.lp_parallel",
+            "LP run differs at threads=" + std::to_string(c.threads));
+      }
+    }
+
+    const RoundingDistRun rserial = run_rounding_distributed(
+        g, mirror_lp.primal.x, demands, c.algo_seed, 1, 0.0, nullptr);
+    if (rserial.set != mirror_rounding.set) {
+      add(out, "rounding.differential",
+          "distributed rounding != centralized mirror (" +
+              std::to_string(rserial.set.size()) + " vs " +
+              std::to_string(mirror_rounding.set.size()) + " members)");
+    }
+    if (rserial.metrics.max_message_words > 1) {
+      add(out, "rounding.message_bound",
+          "rounding message exceeded 1 word: " +
+              std::to_string(rserial.metrics.max_message_words));
+    }
+    if (rserial.executed > 4) {
+      add(out, "term.rounding",
+          "rounding took " + std::to_string(rserial.executed) + " rounds");
+    }
+    if (c.threads > 1) {
+      const RoundingDistRun rparallel = run_rounding_distributed(
+          g, mirror_lp.primal.x, demands, c.algo_seed, c.threads, 0.0, nullptr);
+      if (rparallel != rserial) {
+        add(out, "engine.rounding_parallel",
+            "rounding run differs at threads=" + std::to_string(c.threads));
+      }
+    }
+  } else if (c.threads > 1) {
+    // Under loss the outcome is loss-seed-dependent but still a pure
+    // function of the case: the engine must stay width-invariant.
+    const LpDistRun serial =
+        run_lp_distributed(g, demands, c.t, c.algo_seed, 1, c.loss);
+    const LpDistRun parallel =
+        run_lp_distributed(g, demands, c.t, c.algo_seed, c.threads, c.loss);
+    if (parallel != serial) {
+      add(out, "engine.lp_parallel",
+          "lossy LP run differs at threads=" + std::to_string(c.threads));
+    }
+  }
+}
+
+// -------------------------------------------------------------- small oracles
+
+void check_small_oracles(const FuzzCase& /*c*/, const Graph& g,
+                         const Demands& demands, const algo::LpResult& lp,
+                         const algo::RoundingResult& rounding,
+                         Violations& out) {
+  algo::ExactOptions eopts;
+  eopts.node_budget = 300'000;
+  const auto exact = algo::exact_kmds(g, demands, eopts);
+  const auto greedy = algo::greedy_kmds(g, demands);
+  if (!exact.feasible) {
+    // clamp_demands guarantees feasibility; an infeasible verdict is a bug.
+    add(out, "oracle.exact_feasible",
+        "exact solver declared a clamped instance infeasible");
+    return;
+  }
+  check_coverage_invariant(g, demands, exact.set, "oracle.exact", out);
+  check_coverage_invariant(g, demands, greedy.set, "oracle.greedy", out);
+  if (!exact.optimal) return;  // budget exhausted: orderings not guaranteed
+
+  const auto opt = static_cast<double>(exact.set.size());
+  if (static_cast<double>(greedy.set.size()) <
+      opt - kEps) {
+    add(out, "oracle.exact_optimal",
+        "greedy beat the 'optimal' exact solution: " +
+            std::to_string(greedy.set.size()) + " < " +
+            std::to_string(exact.set.size()));
+  }
+  if (static_cast<double>(rounding.set.size()) < opt - kEps) {
+    add(out, "oracle.exact_optimal",
+        "rounding beat the 'optimal' exact solution");
+  }
+  // Greedy's H(Δ+1) guarantee, checked against true OPT.
+  const double h_bound =
+      domination::harmonic(static_cast<std::int64_t>(g.max_degree()) + 1);
+  if (static_cast<double>(greedy.set.size()) > h_bound * opt + kEps) {
+    add(out, "oracle.greedy_ratio",
+        "greedy exceeded H(D+1)*OPT: " + std::to_string(greedy.set.size()) +
+            " > " + fmt(h_bound * opt));
+  }
+  // Weak duality against true OPT (stronger than against the primal).
+  if (lp.dual_bound(demands) > opt + 1e-4) {
+    add(out, "lp.weak_duality_vs_opt",
+        "dual bound " + fmt(lp.dual_bound(demands)) + " exceeds OPT " +
+            fmt(opt));
+  }
+  // The fractional optimum lower-bounds the integral one.
+  if (lp.primal.objective() > 0.0 &&
+      static_cast<double>(exact.set.size()) <
+          lp.dual_bound(demands) - 1e-4) {
+    add(out, "oracle.bound_order", "OPT below the weak-duality bound");
+  }
+}
+
+// ----------------------------------------------------------------- async
+
+void check_async(const FuzzCase& c, const Graph& g, const Demands& demands,
+                 const algo::LpResult& mirror_lp,
+                 const algo::RoundingResult& mirror_rounding, Violations& out) {
+  // The α-synchronizer must make the delay schedule unobservable: any
+  // (bounds, seed) combination yields exactly the synchronous output.
+  const std::uint64_t delay_seeds[] = {c.delay_seed,
+                                       c.delay_seed ^ 0x5DEECE66DULL};
+  for (const std::uint64_t dseed : delay_seeds) {
+    sim::AsyncOptions opts;
+    opts.min_delay = c.min_delay;
+    opts.max_delay = c.max_delay;
+    opts.delay_seed = dseed;
+    sim::AsyncNetwork net(g, c.algo_seed, opts);
+    net.set_all_processes([&](NodeId v) {
+      const auto i = static_cast<std::size_t>(v);
+      return std::make_unique<algo::RoundingProcess>(mirror_lp.primal.x[i],
+                                                     demands[i]);
+    });
+    const std::int64_t pulses = net.run(16);
+    if (pulses >= 16) {
+      add(out, "term.async", "async rounding failed to halt in 16 pulses");
+      continue;
+    }
+    std::vector<NodeId> set;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (net.process_as<algo::RoundingProcess>(v).in_set()) set.push_back(v);
+    }
+    if (set != mirror_rounding.set) {
+      add(out, "engine.async_schedule",
+          "async schedule (delay_seed=" + std::to_string(dseed) +
+              ") changed the rounding output");
+    }
+  }
+}
+
+// ------------------------------------------------------------------- UDG
+
+void check_udg(const FuzzCase& c, const geom::UnitDiskGraph& udg,
+               Violations& out) {
+  const Graph& g = udg.graph;
+  algo::UdgOptions opts;
+  opts.k = c.k;
+  const auto mirror = algo::solve_udg_kmds(udg, opts, c.algo_seed);
+
+  // Lemma 5.1: Part-I leaders form an ordinary dominating set.
+  if (!domination::is_k_dominating(g, mirror.part1_leaders, 1,
+                                   domination::Mode::kOpenForNonMembers)) {
+    add(out, "udg.part1_dominates",
+        "Part-I leaders are not a dominating set");
+  }
+  // Theorem 5.7: the extended set k-covers every non-member (paper
+  // definition) whenever the instance was satisfiable.
+  if (mirror.fully_satisfied &&
+      !domination::is_k_dominating(g, mirror.leaders, c.k,
+                                   domination::Mode::kOpenForNonMembers)) {
+    add(out, "udg.coverage",
+        "Algorithm 3 output misses open-mode k-coverage (k=" +
+            std::to_string(c.k) + ")");
+  }
+  // Part II only promotes: leaders ⊇ part1_leaders.
+  if (!std::includes(mirror.leaders.begin(), mirror.leaders.end(),
+                     mirror.part1_leaders.begin(),
+                     mirror.part1_leaders.end())) {
+    add(out, "udg.monotone_promotion",
+        "Part II dropped a Part-I leader");
+  }
+
+  if (!c.run_differential) return;
+  for (const int threads : {1, c.threads}) {
+    sim::SyncNetwork net(udg, c.algo_seed);
+    net.set_threads(threads);
+    net.set_all_processes(
+        [&](NodeId) { return std::make_unique<algo::UdgKmdsProcess>(opts); });
+    const std::int64_t budget =
+        4 * algo::udg_part1_rounds(g.n()) + 3 * (g.n() + 8);
+    const std::int64_t executed = net.run(budget);
+    if (executed >= budget) {
+      add(out, "term.udg",
+          "distributed Algorithm 3 failed to halt (threads=" +
+              std::to_string(threads) + ")");
+      continue;
+    }
+    std::vector<NodeId> leaders;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (net.process_as<algo::UdgKmdsProcess>(v).leader()) {
+        leaders.push_back(v);
+      }
+    }
+    if (leaders != mirror.leaders) {
+      add(out, "udg.differential",
+          "distributed leader set != mirror (threads=" +
+              std::to_string(threads) + ")");
+    }
+    if (threads == c.threads) break;  // threads == 1: single iteration
+  }
+}
+
+// ----------------------------------------------------------------- repair
+
+struct RepairRun {
+  std::vector<NodeId> final_set;
+  std::int64_t promoted = 0;
+  std::int64_t unsatisfied = 0;
+  std::vector<bool> crashed;
+  sim::Metrics metrics;
+
+  friend bool operator==(const RepairRun&, const RepairRun&) = default;
+};
+
+sim::FaultPlan build_fault_plan(const FuzzCase& c,
+                                const geom::UnitDiskGraph* udg) {
+  switch (c.fault_kind) {
+    case FaultKind::kNone:
+      return sim::FaultPlan::none();
+    case FaultKind::kIid:
+      return sim::FaultPlan::iid_crashes(c.fault_rate, 0, c.horizon);
+    case FaultKind::kTargeted:
+      return sim::FaultPlan::targeted_by_degree(std::max<NodeId>(1, c.fault_count),
+                                                c.horizon / 2);
+    case FaultKind::kChurn:
+      return sim::FaultPlan::churn(c.fault_rate, 2, 6, 0, c.horizon);
+    case FaultKind::kRegion:
+      if (udg == nullptr) {  // shrinker may have changed the family
+        return sim::FaultPlan::targeted_by_degree(
+            std::max<NodeId>(1, c.fault_count), c.horizon / 2);
+      }
+      return sim::FaultPlan::region(
+          udg->positions[static_cast<std::size_t>(
+              c.fault_seed % static_cast<std::uint64_t>(udg->n()))],
+          1.0, c.horizon / 2);
+  }
+  return sim::FaultPlan::none();
+}
+
+RepairRun run_repair(const FuzzCase& c, const Instance& inst,
+                     const std::vector<std::uint8_t>& base_member,
+                     const Demands& demands, int threads,
+                     std::vector<NodeId>* failed_out) {
+  const Graph& g = inst.graph();
+  algo::RepairProcessOptions popts;
+  popts.detection_timeout = 3;
+  auto make_process = [&](NodeId v, bool member) {
+    return std::make_unique<algo::RepairProcess>(
+        demands[static_cast<std::size_t>(v)], member, popts);
+  };
+
+  std::unique_ptr<sim::SyncNetwork> net;
+  if (inst.has_udg) {
+    net = std::make_unique<sim::SyncNetwork>(inst.udg, c.algo_seed);
+  } else {
+    net = std::make_unique<sim::SyncNetwork>(inst.g, c.algo_seed);
+  }
+  net->set_threads(threads);
+  if (c.loss > 0.0) net->set_message_loss(c.loss, c.algo_seed ^ 0xC0FFEEULL);
+  net->set_all_processes([&](NodeId v) {
+    return make_process(v, base_member[static_cast<std::size_t>(v)] != 0);
+  });
+
+  sim::FaultInjector injector(
+      build_fault_plan(c, inst.has_udg ? &inst.udg : nullptr), c.fault_seed);
+  const auto& schedule = injector.install(
+      *net, c.horizon, [&](NodeId v) { return make_process(v, false); });
+  if (failed_out != nullptr) {
+    for (const sim::FaultEvent& e : schedule) {
+      if (!e.recover) failed_out->push_back(e.node);
+    }
+  }
+
+  net->run(c.horizon + 80);
+  RepairRun run;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    run.crashed.push_back(net->crashed(v));
+    if (net->crashed(v)) continue;
+    const auto& p = net->process_as<algo::RepairProcess>(v);
+    if (p.member()) {
+      run.final_set.push_back(v);
+      if (!base_member[static_cast<std::size_t>(v)]) ++run.promoted;
+    }
+    if (p.unsatisfied()) ++run.unsatisfied;
+  }
+  run.metrics = net->metrics();
+  return run;
+}
+
+void check_repair(const FuzzCase& c, const Instance& inst, Violations& out) {
+  const Graph& g = inst.graph();
+  const Demands& demands = inst.demands;
+  const auto base = algo::greedy_kmds(g, demands).set;
+  std::vector<std::uint8_t> base_member(static_cast<std::size_t>(g.n()), 0);
+  for (NodeId v : base) base_member[static_cast<std::size_t>(v)] = 1;
+
+  std::vector<NodeId> failed;
+  const RepairRun serial = run_repair(c, inst, base_member, demands, 1, &failed);
+
+  // Serial-vs-parallel equality holds for every fault modality and loss
+  // rate — the engine contract is unconditional.
+  if (c.threads > 1) {
+    const RepairRun parallel =
+        run_repair(c, inst, base_member, demands, c.threads, nullptr);
+    if (parallel != serial) {
+      add(out, "engine.repair_parallel",
+          "repair run differs at threads=" + std::to_string(c.threads));
+    }
+  }
+
+  // The oracle comparison needs perfect detection (no loss) and a
+  // crash-only plan (the oracle has no churn model).
+  if (c.loss > 0.0 || c.fault_kind == FaultKind::kChurn) return;
+
+  const auto oracle = algo::repair_after_failures(g, base, failed, demands);
+  const Graph live = g.without_nodes(failed);
+  auto live_demands = domination::clamp_demands(live, demands);
+  for (NodeId f : failed) live_demands[static_cast<std::size_t>(f)] = 0;
+  if (!domination::is_k_dominating(live, serial.final_set, live_demands)) {
+    add(out, "repair.coverage",
+        "self-healed set misses live demands after " +
+            std::to_string(failed.size()) + " crashes");
+  }
+  if (serial.promoted > oracle.promoted + oracle.touched) {
+    add(out, "repair.over_promotion",
+        "promoted " + std::to_string(serial.promoted) + " > oracle " +
+            std::to_string(oracle.promoted) + " + touched " +
+            std::to_string(oracle.touched));
+  }
+  if (oracle.fully_satisfied && serial.unsatisfied != 0) {
+    add(out, "repair.unsatisfied",
+        std::to_string(serial.unsatisfied) +
+            " nodes stuck although the oracle repaired everything");
+  }
+}
+
+// -------------------------------------------------------------------- obs
+
+void check_obs(const FuzzCase& c, const Graph& g, const Demands& demands,
+               const algo::LpResult& mirror_lp, Violations& out) {
+  std::vector<std::int64_t> registry_values;
+  for (const int threads : {1, c.threads}) {
+    obs::Plane plane;
+    const RoundingDistRun run = run_rounding_distributed(
+        g, mirror_lp.primal.x, demands, c.algo_seed, threads, c.loss, &plane);
+    const auto& b = plane.builtin();
+    const auto& reg = plane.metrics();
+    const std::vector<std::int64_t> values = {
+        reg.value(b.rounds), reg.value(b.messages), reg.value(b.words),
+        reg.value(b.messages_lost)};
+    if (values[0] != run.metrics.rounds ||
+        values[1] != run.metrics.messages_sent ||
+        values[2] != run.metrics.words_sent) {
+      add(out, "obs.registry_consistency",
+          "plane registry disagrees with Metrics at threads=" +
+              std::to_string(threads));
+    }
+    if (registry_values.empty()) {
+      registry_values = values;
+    } else if (values != registry_values) {
+      add(out, "obs.registry_determinism",
+          "registry values changed with engine width");
+    }
+    if (threads == c.threads) break;  // threads == 1: single iteration
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- public API
+
+void check_coverage_invariant(const Graph& g, const Demands& demands,
+                              const std::vector<NodeId>& set, const char* who,
+                              Violations& out) {
+  const auto deficit = domination::deficiency(g, set, demands);
+  if (deficit != 0) {
+    add(out, (std::string(who) + ".coverage").c_str(),
+        "total coverage shortfall " + std::to_string(deficit) + " with |set|=" +
+            std::to_string(set.size()));
+  }
+}
+
+void check_lp_invariants(const Graph& g, const Demands& demands,
+                         const algo::LpResult& lp, int t, Violations& out) {
+  if (!domination::primal_feasible(g, lp.primal, demands, kEps)) {
+    add(out, "lp.primal_feasible",
+        "max violation " + fmt(domination::max_primal_violation(
+                               g, lp.primal, demands)));
+  }
+  if (lp.max_lemma41_ratio > 1.0 + 1e-9) {
+    add(out, "lp.lemma41", "ratio " + fmt(lp.max_lemma41_ratio));
+  }
+  auto scaled = lp.scaled_dual();
+  domination::clamp_tiny_negatives(scaled.y);
+  domination::clamp_tiny_negatives(scaled.z);
+  if (!domination::dual_feasible(g, scaled, kEps)) {
+    add(out, "lp.dual_feasible",
+        "max LHS " + fmt(domination::max_dual_lhs(g, scaled)));
+  }
+  const double primal_obj = lp.primal.objective();
+  const double dual_obj = lp.dual_bound(demands);
+  if (dual_obj > primal_obj + kEps) {
+    add(out, "lp.weak_duality",
+        "dual " + fmt(dual_obj) + " > primal " + fmt(primal_obj));
+  }
+  const double lower =
+      domination::best_lower_bound(g, demands, 0, dual_obj);
+  if (lower > 0.0 &&
+      primal_obj > algo::theorem45_bound(t, g.max_degree()) * lower + kEps) {
+    add(out, "lp.theorem45_ratio",
+        "primal " + fmt(primal_obj) + " > bound*lower " +
+            fmt(algo::theorem45_bound(t, g.max_degree()) * lower));
+  }
+}
+
+Violations check_case(const FuzzCase& c, Mutation mutation) {
+  Violations out;
+  const Instance inst = materialize(c);
+  const Graph& g = inst.graph();
+  const Demands& demands = inst.demands;
+
+  // Mandatory battery: Algorithm 1 + Algorithm 2 mirrors.
+  algo::LpOptions lp_opts;
+  lp_opts.t = c.t;
+  const algo::LpResult lp = algo::solve_fractional_kmds(g, demands, lp_opts);
+  check_lp_invariants(g, demands, lp, c.t, out);
+
+  const algo::RoundingResult rounding = round_fractional_mutant(
+      g, lp.primal, demands, c.algo_seed, mutation);
+  check_rounding_result(g, demands, rounding, out);
+
+  if (c.run_small_oracles) {
+    check_small_oracles(c, g, demands, lp, rounding, out);
+  }
+  if (c.run_differential) {
+    check_differential(c, g, demands, lp, rounding, out);
+  }
+  if (c.run_async && c.loss == 0.0) {
+    check_async(c, g, demands, lp, rounding, out);
+  }
+  if (inst.has_udg) {
+    check_udg(c, inst.udg, out);
+  }
+  if (c.fault_kind != FaultKind::kNone) {
+    check_repair(c, inst, out);
+  }
+  if (c.run_obs) {
+    check_obs(c, g, demands, lp, out);
+  }
+  return out;
+}
+
+}  // namespace ftc::testing

@@ -1,0 +1,70 @@
+// Campaign runner and test-case shrinker for the fuzzing harness
+// (DESIGN.md §8).
+//
+// run_fuzz() drives N cases derived from one root seed through the
+// invariant library and collects every failing case; because a case is a
+// pure function of its 64-bit case seed, any reported failure is replayable
+// with `ftc-fuzz replay <case-seed>` — bit for bit, on any machine.
+//
+// shrink_case() reduces a failing case to a minimal reproducer: it walks a
+// fixed list of field reductions (halve n, drop t/k, disable loss, faults,
+// engine width, optional suites, ...) and keeps each mutation only if the
+// *same leading invariant* still fails, so shrinking cannot slide onto an
+// unrelated bug. The output is again a FuzzCase, serialized by
+// to_string(), replayable with `ftc-fuzz replay --case="..."`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "testing/generators.h"
+#include "testing/invariants.h"
+#include "testing/mutants.h"
+
+namespace ftc::testing {
+
+/// Campaign parameters.
+struct FuzzOptions {
+  std::uint64_t seed = 1;        ///< root seed; case i uses case_seed_of(seed, i)
+  std::int64_t cases = 1000;     ///< cases to run
+  FuzzConfig config;             ///< generator bounds
+  Mutation mutation = Mutation::kNone;  ///< injected bug (harness self-test)
+  std::int64_t max_failures = 1; ///< stop the campaign after this many
+  /// Progress callback, invoked every `progress_every` cases (0 = never).
+  std::int64_t progress_every = 0;
+  std::function<void(std::int64_t cases_run, std::int64_t failures)> progress;
+};
+
+/// One failing case with everything needed to reproduce and triage it.
+struct CaseFailure {
+  std::uint64_t case_seed = 0;
+  FuzzCase fuzz_case;
+  Violations violations;
+};
+
+/// Campaign outcome.
+struct FuzzReport {
+  std::int64_t cases_run = 0;
+  std::vector<CaseFailure> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Runs one case end to end (generate → materialize → all invariants).
+/// Deterministic: equal (case, mutation) always yields equal violations.
+[[nodiscard]] Violations run_case(const FuzzCase& c,
+                                  Mutation mutation = Mutation::kNone);
+
+/// Runs a campaign of `options.cases` cases.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Shrinks `failing` (which must currently fail under `mutation`) to a
+/// smaller case that fails the same leading invariant. `max_steps` bounds
+/// the total number of candidate evaluations. Returns the original case
+/// unchanged if it does not fail.
+[[nodiscard]] FuzzCase shrink_case(const FuzzCase& failing,
+                                   Mutation mutation = Mutation::kNone,
+                                   int max_steps = 400);
+
+}  // namespace ftc::testing

@@ -17,6 +17,71 @@ std::string csv_escape(const std::string& cell) {
   return out;
 }
 
+std::vector<std::string> parse_csv_record(const std::string& text,
+                                          std::size_t& pos) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  const std::size_t n = text.size();
+  while (pos < n) {
+    const char ch = text[pos];
+    if (quoted) {
+      if (ch == '"') {
+        if (pos + 1 < n && text[pos + 1] == '"') {  // doubled quote
+          cell += '"';
+          pos += 2;
+          continue;
+        }
+        quoted = false;
+        ++pos;
+        if (pos < n && text[pos] != ',' && text[pos] != '\n' &&
+            text[pos] != '\r') {
+          throw std::invalid_argument(
+              "parse_csv_record: data after closing quote at offset " +
+              std::to_string(pos));
+        }
+        continue;
+      }
+      cell += ch;
+      ++pos;
+      continue;
+    }
+    if (ch == '"' && cell.empty()) {
+      quoted = true;
+      ++pos;
+      continue;
+    }
+    if (ch == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+      ++pos;
+      continue;
+    }
+    if (ch == '\n' || ch == '\r') {
+      if (ch == '\r' && pos + 1 < n && text[pos + 1] == '\n') ++pos;
+      ++pos;
+      cells.push_back(std::move(cell));
+      return cells;
+    }
+    cell += ch;
+    ++pos;
+  }
+  if (quoted) {
+    throw std::invalid_argument("parse_csv_record: unterminated quoted cell");
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    records.push_back(parse_csv_record(text, pos));
+  }
+  return records;
+}
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
     : out_(path, std::ios::trunc) {

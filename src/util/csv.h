@@ -35,4 +35,19 @@ class CsvWriter {
 /// Escapes a single CSV cell per the quoting rules described on CsvWriter.
 [[nodiscard]] std::string csv_escape(const std::string& cell);
 
+/// Parses one CSV record starting at offset `pos` of `text` into cells,
+/// inverting CsvWriter's quoting (doubled quotes, embedded commas and
+/// newlines inside quoted cells). Advances `pos` past the record and its
+/// terminator; `pos == text.size()` after the call means the input is
+/// exhausted. Accepts "\n", "\r\n", and end-of-input as terminators. Throws
+/// std::invalid_argument on an unterminated quoted cell or on stray data
+/// after a closing quote.
+[[nodiscard]] std::vector<std::string> parse_csv_record(
+    const std::string& text, std::size_t& pos);
+
+/// Parses a whole CSV document into records (convenience wrapper around
+/// parse_csv_record). A trailing newline does not produce an empty record.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    const std::string& text);
+
 }  // namespace ftc::util

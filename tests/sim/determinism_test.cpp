@@ -153,6 +153,54 @@ TEST(ParallelDeterminism, ThreadCountMayChangeBetweenRounds) {
   EXPECT_EQ(sequential, collect(net, executed));
 }
 
+RunResult run_crash_recover(const graph::Graph& g, std::uint64_t seed,
+                            int threads) {
+  SyncNetwork net(g, seed);
+  net.set_threads(threads);
+  net.set_message_loss(0.1, seed ^ 0xFA17);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<RecordingProcess>(kRounds); });
+  // Hand-written crash + rejoin schedule: victims fall mid-protocol with
+  // messages in flight, then rejoin with reset state a few rounds later —
+  // one of them twice (crash → rejoin → crash again → rejoin again).
+  const auto factory = [](NodeId) {
+    return std::make_unique<RecordingProcess>(kRounds);
+  };
+  net.schedule_crash(2, 3);
+  net.schedule_crash(5, 3);
+  net.schedule_crash(9, 7);
+  net.schedule_recovery(5, 6, factory(5));
+  net.schedule_recovery(2, 10, factory(2));
+  net.schedule_crash(5, 12);
+  net.schedule_recovery(5, 16, factory(5));
+  net.schedule_recovery(9, 18, factory(9));
+  const auto executed = net.run(kRounds + 1);
+  return collect(net, executed);
+}
+
+TEST(ParallelDeterminism, CrashRecoveryScheduleMatchesForEveryThreadCount) {
+  for (std::uint64_t seed : {2ULL, 31ULL}) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::gnp(60, 0.12, rng);
+    const RunResult sequential = run_crash_recover(g, seed, 1);
+    // All scheduled rejoins happened: every victim finishes alive.
+    EXPECT_FALSE(sequential.crashed[2]);
+    EXPECT_FALSE(sequential.crashed[5]);
+    EXPECT_FALSE(sequential.crashed[9]);
+    EXPECT_EQ(sequential.live, 60);
+    EXPECT_GT(sequential.messages_lost, 0);
+    // A rejoined node boots from a fresh process: its log restarts after
+    // the recovery round instead of continuing the pre-crash history.
+    ASSERT_FALSE(sequential.logs[5].empty());
+    EXPECT_GE(sequential.logs[5].front(), 16);
+    for (int threads = 2; threads <= 8; ++threads) {
+      const RunResult parallel = run_crash_recover(g, seed, threads);
+      EXPECT_EQ(sequential, parallel)
+          << "seed " << seed << ", threads " << threads;
+    }
+  }
+}
+
 TEST(ParallelDeterminism, RealAlgorithmProducesIdenticalClustering) {
   util::Rng rng(21);
   const graph::Graph g = graph::gnp(200, 0.05, rng);

@@ -94,5 +94,35 @@ TEST(Args, ProgramName) {
   EXPECT_EQ(args.program(), "prog");
 }
 
+TEST(ObsFlags, DefaultsWhenAbsent) {
+  const ObsFlags flags = parse_obs_flags(make_args({"--n=100"}));
+  EXPECT_FALSE(flags.enabled());
+  EXPECT_TRUE(flags.trace_path.empty());
+  EXPECT_TRUE(flags.metrics_path.empty());
+  EXPECT_EQ(flags.capacity, 1 << 18);
+}
+
+TEST(ObsFlags, FullFlagGroupParses) {
+  const ObsFlags flags = parse_obs_flags(
+      make_args({"--trace=run.trace", "--metrics=m.json",
+                 "--trace-categories=engine,repair", "--trace-severity=warn",
+                 "--trace-capacity=1024"}));
+  EXPECT_TRUE(flags.enabled());
+  EXPECT_EQ(flags.trace_path, "run.trace");
+  EXPECT_EQ(flags.metrics_path, "m.json");
+  EXPECT_EQ(flags.categories, "engine,repair");
+  EXPECT_EQ(flags.severity, "warn");
+  EXPECT_EQ(flags.capacity, 1024);
+}
+
+TEST(ObsFlags, MetricsAloneEnables) {
+  EXPECT_TRUE(parse_obs_flags(make_args({"--metrics=m.json"})).enabled());
+}
+
+TEST(ObsFlags, BadCapacityThrows) {
+  EXPECT_THROW((void)parse_obs_flags(make_args({"--trace-capacity=lots"})),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ftc::util

@@ -68,5 +68,81 @@ TEST(CsvWriter, ThrowsOnBadPath) {
                std::runtime_error);
 }
 
+TEST(CsvParse, PlainRecord) {
+  std::size_t pos = 0;
+  EXPECT_EQ(parse_csv_record("a,b,c", pos),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(pos, 5u);
+}
+
+TEST(CsvParse, EmptyCellsPreserved) {
+  std::size_t pos = 0;
+  EXPECT_EQ(parse_csv_record(",a,", pos),
+            (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(CsvParse, QuotedCellWithCommaQuoteAndNewline) {
+  std::size_t pos = 0;
+  EXPECT_EQ(parse_csv_record("\"a,b\",\"say \"\"hi\"\"\",\"x\ny\"", pos),
+            (std::vector<std::string>{"a,b", "say \"hi\"", "x\ny"}));
+}
+
+TEST(CsvParse, CrLfTerminator) {
+  std::size_t pos = 0;
+  const std::string text = "a,b\r\nc,d\n";
+  EXPECT_EQ(parse_csv_record(text, pos),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(parse_csv_record(text, pos),
+            (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ(pos, text.size());
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  std::size_t pos = 0;
+  EXPECT_THROW((void)parse_csv_record("\"oops", pos), std::invalid_argument);
+}
+
+TEST(CsvParse, DataAfterClosingQuoteThrows) {
+  std::size_t pos = 0;
+  EXPECT_THROW((void)parse_csv_record("\"a\"b,c", pos),
+               std::invalid_argument);
+}
+
+TEST(CsvParse, WholeDocumentIgnoresTrailingNewline) {
+  EXPECT_EQ(parse_csv("h\n1\n2\n"),
+            (std::vector<std::vector<std::string>>{{"h"}, {"1"}, {"2"}}));
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+// Round-trip: every cell the writer can emit must come back verbatim
+// through the parser, including the adversarial ones.
+TEST_F(CsvWriterTest, RoundTripsThroughParser) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"n", "label", "note"},
+      {"1", "plain", ""},
+      {"2", "comma,inside", "quote\"inside"},
+      {"3", "line\nbreak", "\r\nwindows"},
+      {"4", "\"fully quoted\"", ",\",\n\","},
+  };
+  {
+    CsvWriter w(path_, rows[0]);
+    for (std::size_t i = 1; i < rows.size(); ++i) w.write_row(rows[i]);
+  }
+  EXPECT_EQ(parse_csv(read_file(path_)), rows);
+}
+
+TEST(CsvParse, EscapeParseIsIdentityOnSingleCells) {
+  for (const std::string cell :
+       {"", "plain", "a,b", "\"", "\"\"", "a\nb", "a\r\nb", "trailing\"",
+        ",,,", "\n"}) {
+    std::size_t pos = 0;
+    const std::string escaped = csv_escape(cell);
+    EXPECT_EQ(parse_csv_record(escaped, pos),
+              std::vector<std::string>{cell})
+        << "cell: " << cell;
+    EXPECT_EQ(pos, escaped.size());
+  }
+}
+
 }  // namespace
 }  // namespace ftc::util
