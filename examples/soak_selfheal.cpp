@@ -58,6 +58,14 @@ int main(int argc, char** argv) {
   opts.message_loss = loss;
   opts.threads = threads;
   opts.plane = plane.get();
+  if (loss >= 0.1) {
+    // Lossy radios: consecutive-timeout detection mistakes a short drop
+    // streak for a crash, flooding the repair daemon with false waves.
+    // M-of-N windowed detection forgives isolated drops and still bounds
+    // crash-detection latency by the window.
+    opts.detection_window = 12;
+    opts.detection_misses = 9;
+  }
   const auto rep = algo::run_soak(g, &udg, demands, base, plan, opts);
   if (plane != nullptr) obs::export_plane(*plane, obs_flags);
 

@@ -10,6 +10,9 @@
 #                                           build-tsan)
 #   scripts/check.sh fuzz-smoke [build-dir] short fixed-seed ftc-fuzz
 #                                           campaign under ASan+UBSan
+#   scripts/check.sh loss-fuzz [build-dir]  same, but every case gets a lossy
+#                                           channel (--lossy): exercises the
+#                                           link-impairment + transport paths
 #   scripts/check.sh selftest               verify that a failing ctest
 #                                           propagates to this script's exit
 #                                           code (regression guard, no build)
@@ -76,6 +79,21 @@ if [ "${1:-}" = "fuzz-smoke" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "loss-fuzz" ]; then
+  # The fuzz-smoke campaign with --lossy: every case runs over an impaired
+  # channel (iid/burst loss, duplication, reordering, asymmetry) so the
+  # channel model, the reliable transport, and the loss-aware invariants
+  # (engine equivalence under lossy schedules, transport convergence) all
+  # get ASan+UBSan coverage. Deterministic, like fuzz-smoke.
+  BUILD_DIR="${2:-build-asan}"
+  configure -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFTC_SANITIZE=address
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target ftc-fuzz
+  "$BUILD_DIR/tools/ftc-fuzz" run --cases=2000 --seed=1 --progress=500 --lossy
+  exit 0
+fi
+
 if [ "$MODE" = "thread" ]; then
   BUILD_DIR="${1:-build-tsan}"
   configure -B "$BUILD_DIR" -S . \
@@ -84,10 +102,11 @@ if [ "$MODE" = "thread" ]; then
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target ftc_tests bench_p1_simcore
   # The concurrency surface: the thread pool itself, the determinism suites
   # (which drive SyncNetwork — with and without an observability plane — at
-  # many widths), and the simcore bench smoke (the parallel engine against a
-  # live workload).
+  # many widths), the reliable-transport suite (per-process ARQ state under
+  # the parallel engine), and the simcore bench smoke (the parallel engine
+  # against a live workload).
   run_ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R 'ThreadPool|ParallelDeterminism|TraceDeterminism|smoke_p1'
+    -R 'ThreadPool|ParallelDeterminism|TraceDeterminism|ReliableTransport|smoke_p1'
 else
   BUILD_DIR="${1:-build-asan}"
   configure -B "$BUILD_DIR" -S . \

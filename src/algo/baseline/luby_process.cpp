@@ -52,7 +52,7 @@ void LubyMisProcess::on_round(sim::Context& ctx) {
     if (status_ == Status::kUndecided) {
       bool is_min = true;
       for (const sim::Message& msg : ctx.inbox()) {
-        assert(msg.words.size() == 1);
+        if (msg.words.size() != 1) continue;  // wrong-shape frame (delayed)
         const auto wv = static_cast<std::uint64_t>(msg.words[0]);
         if (wv < my_value_ || (wv == my_value_ && msg.from < ctx.self())) {
           is_min = false;

@@ -12,10 +12,24 @@ using graph::NodeId;
 using sim::Message;
 using sim::Word;
 
+namespace {
+
+/// Phase tag carried as word 0 of every repair message. Messages sent in
+/// phase P arrive in phase P + 1; anything else is channel reordering or
+/// duplication and is dropped by the reader.
+constexpr Word prev_phase(std::int64_t round) {
+  return static_cast<Word>((round + kRepairRoundsPerWave - 1) %
+                           kRepairRoundsPerWave);
+}
+
+}  // namespace
+
 RepairProcess::RepairProcess(std::int32_t demand, bool initially_member,
                              RepairProcessOptions options)
     : options_(options),
-      monitor_(sim::HeartbeatMonitor::Options{options.detection_timeout}),
+      monitor_(sim::HeartbeatMonitor::Options{options.detection_timeout,
+                                              options.detection_window,
+                                              options.detection_misses}),
       demand_(demand),
       member_(initially_member) {}
 
@@ -50,7 +64,8 @@ void RepairProcess::phase_member(sim::Context& ctx) {
   bool elected = self_elected_;
   self_elected_ = false;
   for (const Message& msg : ctx.inbox()) {
-    if (msg.words.at(0) == static_cast<Word>(ctx.self())) elected = true;
+    if (msg.words.at(0) != prev_phase(ctx.round())) continue;  // stale
+    if (msg.words.at(1) == static_cast<Word>(ctx.self())) elected = true;
   }
   if (elected && !member_) {
     member_ = true;
@@ -62,13 +77,15 @@ void RepairProcess::phase_member(sim::Context& ctx) {
                  static_cast<std::int32_t>(ctx.self()), demand_);
     }
   }
-  ctx.broadcast({member_ ? Word{1} : Word{0}});
+  ctx.broadcast({static_cast<Word>(ctx.round() % kRepairRoundsPerWave),
+                 member_ ? Word{1} : Word{0}});
 }
 
 void RepairProcess::phase_deficit(sim::Context& ctx) {
   for (const Message& msg : ctx.inbox()) {
+    if (msg.words.at(0) != prev_phase(ctx.round())) continue;  // stale
     nbr_membership_[index_of(ctx, msg.from)] =
-        msg.words.at(0) != 0 ? kMember : kNonMember;
+        msg.words.at(1) != 0 ? kMember : kNonMember;
   }
 
   if (options_.mode == Mode::kOpenForNonMembers && member_) {
@@ -97,12 +114,14 @@ void RepairProcess::phase_deficit(sim::Context& ctx) {
     }
   }
   deficient_ = residual_ > 0;
-  ctx.broadcast({deficient_ ? Word{1} : Word{0}});
+  ctx.broadcast({static_cast<Word>(ctx.round() % kRepairRoundsPerWave),
+                 deficient_ ? Word{1} : Word{0}});
 }
 
 void RepairProcess::phase_span(sim::Context& ctx) {
   for (const Message& msg : ctx.inbox()) {
-    nbr_deficient_[index_of(ctx, msg.from)] = msg.words.at(0) != 0 ? 1 : 0;
+    if (msg.words.at(0) != prev_phase(ctx.round())) continue;  // stale
+    nbr_deficient_[index_of(ctx, msg.from)] = msg.words.at(1) != 0 ? 1 : 0;
   }
 
   own_span_ = 0;
@@ -113,12 +132,14 @@ void RepairProcess::phase_span(sim::Context& ctx) {
       if (!monitor_.suspects(nbrs[j]) && nbr_deficient_[j] != 0) ++own_span_;
     }
   }
-  ctx.broadcast({static_cast<Word>(own_span_)});
+  ctx.broadcast({static_cast<Word>(ctx.round() % kRepairRoundsPerWave),
+                 static_cast<Word>(own_span_)});
 }
 
 void RepairProcess::phase_vote(sim::Context& ctx) {
   for (const Message& msg : ctx.inbox()) {
-    nbr_span_[index_of(ctx, msg.from)] = msg.words.at(0);
+    if (msg.words.at(0) != prev_phase(ctx.round())) continue;  // stale
+    nbr_span_[index_of(ctx, msg.from)] = msg.words.at(1);
   }
 
   Word vote = -1;
@@ -156,7 +177,7 @@ void RepairProcess::phase_vote(sim::Context& ctx) {
   } else {
     unsatisfied_ = false;
   }
-  ctx.broadcast({vote});
+  ctx.broadcast({static_cast<Word>(ctx.round() % kRepairRoundsPerWave), vote});
 }
 
 }  // namespace ftc::algo

@@ -14,19 +14,29 @@
 //
 //   P0 MEMBER:  absorb VOTE messages from the previous wave: a non-member
 //               named by any vote promotes itself. Broadcast the (possibly
-//               new) membership bit.                               [1 word]
+//               new) membership bit.                              [2 words]
 //   P1 DEFICIT: absorb membership bits; recompute the residual demand
 //               (own demand minus live, unsuspected members in the closed
-//               neighborhood). Broadcast the deficiency flag.      [1 word]
+//               neighborhood). Broadcast the deficiency flag.     [2 words]
 //   P2 SPAN:    absorb deficiency flags; a non-member computes its span =
 //               number of deficient nodes in its closed neighborhood it
-//               could help. Broadcast the span (members: 0).       [1 word]
+//               could help. Broadcast the span (members: 0).      [2 words]
 //   P3 VOTE:    absorb spans; a deficient node elects the best candidate
 //               in its closed neighborhood — highest span wins, ids break
-//               ties — and broadcasts the vote.                    [1 word]
+//               ties — and broadcasts the vote.                   [2 words]
 //
-// Every round broadcasts exactly one word, so protocol traffic doubles as
-// the heartbeat (piggybacking; the failure detector never sends anything).
+// Every message is [phase, value]: the phase tag of the round it was sent
+// in. Under reliable links the tag is redundant (a message sent in phase P
+// always arrives in phase P+1), but reordering links (sim/channel.h) can
+// deliver a frame rounds late and duplication can replay it; a receiver
+// only absorbs messages whose tag matches the previous phase and drops the
+// rest, so a stale SPAN word is never misread as a VOTE. Dropping a stale
+// message is always safe: it is indistinguishable from the loss the wave
+// already tolerates, and every phase re-broadcasts fresh state.
+//
+// Every round broadcasts exactly one message, so protocol traffic doubles
+// as the heartbeat (piggybacking; the failure detector never sends
+// anything — and counts *any* arrival as life, stale or not).
 //
 // Relation to the centralized oracle: the oracle promotes sequentially, one
 // globally best candidate at a time; a wave promotes every elected
@@ -65,6 +75,13 @@ struct RepairProcessOptions {
   /// Heartbeat timeout in rounds: a silent neighbor is suspected dead after
   /// timeout rounds beyond the normal one-round delivery gap.
   std::int64_t detection_timeout = 4;
+  /// When > 0, the detector runs in M-of-N mode instead: suspect a neighbor
+  /// after detection_misses missed beats within a sliding window of
+  /// detection_window rounds (see sim::HeartbeatMonitor). Use under lossy
+  /// links, where consecutive-timeout detection false-suspects too eagerly.
+  int detection_window = 0;
+  /// M-of-N mode: misses needed to suspect (0 defaults to the full window).
+  int detection_misses = 0;
 };
 
 /// Per-node self-healing daemon. Never halts — run the network for a round
@@ -86,8 +103,18 @@ class RepairProcess final : public sim::Process {
   /// non-member candidate left in its closed neighborhood (the distributed
   /// analogue of RepairResult::fully_satisfied == false).
   [[nodiscard]] bool unsatisfied() const noexcept { return unsatisfied_; }
-  /// Number of times this node promoted itself into the set.
+  /// Number of times this node joined the set (self-elected or external).
   [[nodiscard]] std::int64_t joins() const noexcept { return joins_; }
+
+  /// External promotion re-issue (CoverageWatchdog escalation): idempotently
+  /// forces this node into the set. Call between rounds; the membership bit
+  /// goes out at the next P0 broadcast like any self-promotion.
+  void promote() noexcept {
+    if (!member_) {
+      member_ = true;
+      ++joins_;
+    }
+  }
   /// The embedded failure detector (suspicion statistics).
   [[nodiscard]] const sim::HeartbeatMonitor& monitor() const noexcept {
     return monitor_;

@@ -23,8 +23,16 @@ SoakReport run_soak(const graph::Graph& g, const geom::UnitDiskGraph* udg,
   SoakReport report;
   std::int32_t max_demand = 0;
   for (std::int32_t k : demands) max_demand = std::max(max_demand, k);
+  // Detection latency: consecutive-timeout rounds in legacy mode, up to a
+  // full window in M-of-N mode (a crash is suspected once the required
+  // misses accumulate, at worst detection_window rounds later).
+  const std::int64_t detection_latency =
+      options.detection_window > 0
+          ? std::max<std::int64_t>(options.detection_timeout,
+                                   options.detection_window)
+          : options.detection_timeout;
   report.repair_threshold =
-      options.detection_timeout +
+      detection_latency +
       kRepairRoundsPerWave * (static_cast<std::int64_t>(max_demand) + 3);
 
   std::vector<std::uint8_t> initial_member(n, 0);
@@ -33,6 +41,8 @@ SoakReport run_soak(const graph::Graph& g, const geom::UnitDiskGraph* udg,
   RepairProcessOptions popts;
   popts.mode = options.mode;
   popts.detection_timeout = options.detection_timeout;
+  popts.detection_window = options.detection_window;
+  popts.detection_misses = options.detection_misses;
 
   // Build from the embedding when one is provided so region fault plans can
   // see it; the repair protocol itself never uses distances.

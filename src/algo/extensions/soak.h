@@ -37,6 +37,11 @@ namespace ftc::algo {
 struct SoakOptions {
   std::int64_t rounds = 2000;          ///< total rounds to execute
   std::int64_t detection_timeout = 4;  ///< heartbeat timeout (rounds)
+  /// M-of-N loss-aware detection (sim::HeartbeatMonitor): window of N
+  /// rounds (0 = legacy consecutive-timeout mode) and the misses needed
+  /// to suspect within it (0 = the full window).
+  int detection_window = 0;
+  int detection_misses = 0;
   domination::Mode mode = domination::Mode::kClosedNeighborhood;
   double message_loss = 0.0;           ///< link loss probability
   std::uint64_t network_seed = 1;      ///< per-node process randomness

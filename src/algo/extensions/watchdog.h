@@ -1,0 +1,113 @@
+// Coverage-SLO degradation watchdog for long-running deployments.
+//
+// RepairProcess heals coverage from inside the network, but its wave can
+// stall under sustained channel impairment: votes get lost, false
+// suspicions mask live members, and a deficient node may sit uncovered for
+// many waves. CoverageWatchdog is the operator's backstop — a host-side
+// daemon polled between rounds that audits ground-truth k-coverage of the
+// live topology, tracks how long the deployment has been out of SLO, and
+// escalates to a targeted promotion wave when the degradation persists
+// longer than its patience.
+//
+// Division of labor:
+//
+//   * poll(net), called after each step(), recomputes the live coverage
+//     shortfall (crashed nodes neither demand nor provide coverage; demands
+//     are clamped to what the surviving closed neighborhoods can satisfy —
+//     the same convention as repair_after_failures);
+//   * every polled round with a positive shortfall increments the SLO
+//     counter `slo.coverage_violation_rounds` and publishes the shortfall
+//     as the gauge `slo.uncovered_demand`;
+//   * after `patience` consecutive violating polls the watchdog intervenes:
+//     it runs the centralized repair oracle on the live topology and issues
+//     the missing promotions through the `promote` callback (idempotent —
+//     promoting a node that is already promoting itself is harmless),
+//     emitting a `watchdog.repair` trace event and counting
+//     `watchdog.interventions` / `watchdog.promotions`. The streak then
+//     restarts, giving the network another `patience` rounds to absorb the
+//     re-issued wave before the watchdog escalates again.
+//
+// The watchdog reads simulator ground truth (crash flags), which a real
+// deployment's operator console would approximate with gossip; the point
+// here is the SLO accounting and the escalation policy, both of which are
+// pure functions of the polled state and therefore deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "domination/domination.h"
+#include "sim/network.h"
+
+namespace ftc::algo {
+
+struct CoverageWatchdogOptions {
+  /// Coverage rule audited (must match the protocol being watched).
+  domination::Mode mode = domination::Mode::kClosedNeighborhood;
+  /// Consecutive violating polls tolerated before an intervention; >= 1.
+  std::int64_t patience = 8;
+};
+
+/// Host-side coverage auditor + escalation daemon. Construct with the
+/// deployment's demand vector and two callbacks into the hosted protocol;
+/// call poll(net) after every network step.
+class CoverageWatchdog {
+ public:
+  /// True iff node v currently claims set membership.
+  using IsMember = std::function<bool(graph::NodeId)>;
+  /// Force node v into the set (re-issue a promotion). Must be idempotent.
+  using Promote = std::function<void(graph::NodeId)>;
+
+  CoverageWatchdog(domination::Demands demands,
+                   CoverageWatchdogOptions options, IsMember is_member,
+                   Promote promote);
+
+  /// Audits live k-coverage and applies the SLO/escalation policy above.
+  /// Returns true iff this poll found a violation. Publishes to the
+  /// network's attached observability plane, if any.
+  bool poll(const sim::SyncNetwork& net);
+
+  /// Rounds polled in violation of the coverage SLO (the SLO metric).
+  [[nodiscard]] std::int64_t violation_rounds() const noexcept {
+    return violation_rounds_;
+  }
+  /// Live coverage shortfall found by the last poll (0 = in SLO).
+  [[nodiscard]] std::int64_t uncovered_demand() const noexcept {
+    return uncovered_demand_;
+  }
+  /// Escalations performed (patience exhausted).
+  [[nodiscard]] std::int64_t interventions() const noexcept {
+    return interventions_;
+  }
+  /// Promotions issued through the callback, summed over interventions.
+  [[nodiscard]] std::int64_t promotions_issued() const noexcept {
+    return promotions_issued_;
+  }
+  /// Consecutive violating polls so far (resets on a clean poll or an
+  /// intervention).
+  [[nodiscard]] std::int64_t streak() const noexcept { return streak_; }
+
+ private:
+  void publish(const sim::SyncNetwork& net, bool violated,
+               std::int64_t promoted);
+
+  CoverageWatchdogOptions options_;
+  domination::Demands demands_;
+  IsMember is_member_;
+  Promote promote_;
+
+  std::int64_t violation_rounds_ = 0;
+  std::int64_t uncovered_demand_ = 0;
+  std::int64_t interventions_ = 0;
+  std::int64_t promotions_issued_ = 0;
+  std::int64_t streak_ = 0;
+
+  // Lazily registered on the first poll that sees an attached plane.
+  obs::Plane* plane_ = nullptr;
+  obs::MetricId slo_violation_rounds_ = obs::kInvalidMetric;
+  obs::MetricId slo_uncovered_ = obs::kInvalidMetric;
+  obs::MetricId interventions_id_ = obs::kInvalidMetric;
+  obs::MetricId promotions_id_ = obs::kInvalidMetric;
+};
+
+}  // namespace ftc::algo

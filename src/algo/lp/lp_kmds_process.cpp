@@ -40,10 +40,12 @@ void LpKmdsProcess::ensure_initialized(sim::Context& ctx) {
 
 void LpKmdsProcess::update_dynamic_degree(sim::Context& ctx) {
   // Inbox holds color messages [white?1:0]. Crashed neighbors are absent
-  // and counted as gray (they can no longer demand coverage).
+  // and counted as gray (they can no longer demand coverage). An unreliable
+  // channel can delay a frame from another phase into this round; frames of
+  // the wrong shape are ignored rather than misread.
   std::int32_t deg = white_ ? 1 : 0;
   for (const sim::Message& msg : ctx.inbox()) {
-    assert(msg.words.size() == 1);
+    if (msg.words.size() != 1) continue;
     deg += msg.words[0] == 1 ? 1 : 0;
   }
   dyn_deg_ = deg;
@@ -79,9 +81,11 @@ void LpKmdsProcess::do_cover_update_and_send(sim::Context& ctx) {
 
   if (white_) {
     // Inbox is sorted by sender id, matching the mirror's neighbor order.
+    // Wrong-shape frames (phase traffic delayed here by a reordering
+    // channel) are skipped, never decoded.
     double c_plus = x_plus_;  // own increase, exact
     for (const sim::Message& msg : ctx.inbox()) {
-      assert(msg.words.size() == 3);
+      if (msg.words.size() != 3) continue;
       c_plus += sim::decode_fixed(msg.words[1]);
     }
     const double k_i = static_cast<double>(demand_);
@@ -91,6 +95,7 @@ void LpKmdsProcess::do_cover_update_and_send(sim::Context& ctx) {
     alpha_[0] += lambda * x_plus_;
     beta_[0] += lambda * x_plus_ * inv_dp;
     for (const sim::Message& msg : ctx.inbox()) {
+      if (msg.words.size() != 3) continue;
       const double xj = sim::decode_fixed(msg.words[1]);
       const std::size_t slot = slot_of(ctx, msg.from);
       alpha_[slot] += lambda * xj;
@@ -115,7 +120,7 @@ void LpKmdsProcess::send_z_shares(sim::Context& ctx) {
 void LpKmdsProcess::finish_z(sim::Context& ctx) {
   double z = alpha_[0] * y_ - beta_[0];  // own share (j = i), exact
   for (const sim::Message& msg : ctx.inbox()) {
-    assert(msg.words.size() == 1);
+    if (msg.words.size() != 1) continue;
     z += sim::decode_fixed(msg.words[0]);
   }
   z_ = z;
@@ -134,7 +139,8 @@ void LpKmdsProcess::on_round(sim::Context& ctx) {
       ctx.broadcast({static_cast<sim::Word>(ctx.degree())});
     } else {
       for (const sim::Message& msg : ctx.inbox()) {
-        warmup_hop1_ = std::max<std::int64_t>(warmup_hop1_, msg.words.at(0));
+        if (msg.words.size() != 1) continue;
+        warmup_hop1_ = std::max<std::int64_t>(warmup_hop1_, msg.words[0]);
       }
       ctx.broadcast({static_cast<sim::Word>(warmup_hop1_)});
     }
@@ -144,7 +150,8 @@ void LpKmdsProcess::on_round(sim::Context& ctx) {
   if (degree_knowledge_ == DegreeKnowledge::kTwoHop && warmup_rounds_ == 2) {
     std::int64_t two_hop = warmup_hop1_;
     for (const sim::Message& msg : ctx.inbox()) {
-      two_hop = std::max<std::int64_t>(two_hop, msg.words.at(0));
+      if (msg.words.size() != 1) continue;
+      two_hop = std::max<std::int64_t>(two_hop, msg.words[0]);
     }
     d1_ = static_cast<double>(two_hop) + 1.0;
     ++warmup_rounds_;  // fall through into main round 0 this same round

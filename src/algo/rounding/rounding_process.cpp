@@ -38,7 +38,7 @@ void RoundingProcess::on_round(sim::Context& ctx) {
     // neighbors) count as absent.
     std::int32_t coverage = in_set_ ? 1 : 0;
     for (const sim::Message& msg : ctx.inbox()) {
-      assert(msg.words.size() == 1);
+      if (msg.words.size() != 1) continue;  // wrong-shape frame (delayed)
       coverage += msg.words[0] == 1 ? 1 : 0;
     }
     std::int32_t shortfall = demand_ - coverage;

@@ -64,7 +64,7 @@ void UdgKmdsProcess::part1_odd(sim::Context& ctx) {
   NodeId best = ctx.self();
   auto best_id = my_id_;
   for (const sim::Message& msg : ctx.inbox()) {
-    assert(msg.words.size() == 2);
+    if (msg.words.size() != 2) continue;  // wrong-shape frame (delayed)
     if (msg.words[0] != 1) continue;  // inactive sender (defensive)
     if (ctx.distance_to(msg.from) > theta_) continue;  // defensive filter
     const auto wid = static_cast<std::uint64_t>(msg.words[1]);
@@ -92,7 +92,7 @@ void UdgKmdsProcess::part2(sim::Context& ctx, std::int64_t phase) {
     }
     case 1: {  // B1: coverage + deficiency.
       for (const sim::Message& msg : ctx.inbox()) {
-        assert(msg.words.size() == 1);
+        if (msg.words.size() != 1) continue;
         if (msg.words[0] == 1) {
           const auto it = std::lower_bound(known_leaders_.begin(),
                                            known_leaders_.end(), msg.from);
@@ -112,7 +112,7 @@ void UdgKmdsProcess::part2(sim::Context& ctx, std::int64_t phase) {
       if (leader_) {
         std::int32_t budget = k_;
         for (const sim::Message& msg : ctx.inbox()) {  // ascending sender id
-          assert(msg.words.size() == 1);
+          if (msg.words.size() != 1) continue;
           if (msg.words[0] != 1) continue;
           neighborhood_deficient = true;
           if (budget > 0) {

@@ -14,6 +14,12 @@ Plane::Plane(PlaneOptions options) : trace_(options.trace) {
   builtin_.messages = r.counter("sim.messages");
   builtin_.words = r.counter("sim.words");
   builtin_.messages_lost = r.counter("sim.messages_lost");
+  builtin_.messages_duplicated = r.counter("sim.messages_duplicated");
+  builtin_.messages_reordered = r.counter("sim.messages_reordered");
+  builtin_.transport_frames = r.counter("transport.frames");
+  builtin_.transport_retransmissions = r.counter("transport.retransmissions");
+  builtin_.transport_dup_drops = r.counter("transport.duplicates_dropped");
+  builtin_.transport_acks = r.counter("transport.acks");
   builtin_.crashes = r.counter("sim.crashes");
   builtin_.recoveries = r.counter("sim.recoveries");
   builtin_.scheduled_crashes = r.counter("fault.scheduled_crashes");
@@ -47,6 +53,8 @@ Plane::Plane(PlaneOptions options) : trace_(options.trace) {
   builtin_.n_crash = t.intern("crash");
   builtin_.n_recover = t.intern("recover");
   builtin_.n_fault_plan = t.intern("fault.plan");
+  builtin_.n_channel = t.intern("channel.set");
+  builtin_.n_watchdog = t.intern("watchdog.repair");
   builtin_.n_suspect = t.intern("suspect");
   builtin_.n_refute = t.intern("refute");
   builtin_.n_promote = t.intern("promote");

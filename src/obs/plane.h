@@ -29,6 +29,12 @@ struct Builtin {
   MetricId messages = kInvalidMetric;          ///< sim.messages
   MetricId words = kInvalidMetric;             ///< sim.words
   MetricId messages_lost = kInvalidMetric;     ///< sim.messages_lost
+  MetricId messages_duplicated = kInvalidMetric;  ///< sim.messages_duplicated
+  MetricId messages_reordered = kInvalidMetric;   ///< sim.messages_reordered
+  MetricId transport_frames = kInvalidMetric;     ///< transport.frames
+  MetricId transport_retransmissions = kInvalidMetric;  ///< transport.retransmissions
+  MetricId transport_dup_drops = kInvalidMetric;  ///< transport.duplicates_dropped
+  MetricId transport_acks = kInvalidMetric;       ///< transport.acks
   MetricId crashes = kInvalidMetric;           ///< sim.crashes
   MetricId recoveries = kInvalidMetric;        ///< sim.recoveries
   MetricId scheduled_crashes = kInvalidMetric;     ///< fault.scheduled_crashes
@@ -62,6 +68,8 @@ struct Builtin {
   NameId n_crash = 0;           ///< instant fault events
   NameId n_recover = 0;
   NameId n_fault_plan = 0;      ///< injector installed a compiled schedule
+  NameId n_channel = 0;         ///< channel model (re)configured
+  NameId n_watchdog = 0;        ///< coverage watchdog intervention
   NameId n_suspect = 0;         ///< detector events
   NameId n_refute = 0;
   NameId n_promote = 0;         ///< repair events

@@ -46,8 +46,12 @@ std::size_t AsyncNetwork::neighbor_index(NodeId v, NodeId j) const {
   return static_cast<std::size_t>(it - nbrs.begin());
 }
 
+void AsyncNetwork::set_channel(const ChannelOptions& options) {
+  channel_.set_options(options, 0);  // validates; chains keyed on pulses
+}
+
 void AsyncNetwork::send_envelope(NodeId from, NodeId to, Envelope env,
-                                 std::int64_t now) {
+                                 std::int64_t now, std::int64_t extra_delay) {
   env.from = from;
   metrics_.envelopes_sent += 1;
   if (env.has_payload) {
@@ -58,8 +62,8 @@ void AsyncNetwork::send_envelope(NodeId from, NodeId to, Envelope env,
                  static_cast<std::int64_t>(env.words.size()));
   }
   DeliveryEvent event;
-  event.time =
-      now + delay_rng_.uniform_i64(options_.min_delay, options_.max_delay);
+  event.time = now + extra_delay +
+               delay_rng_.uniform_i64(options_.min_delay, options_.max_delay);
   event.sequence = ++sequence_;
   event.to = to;
   event.envelope = std::move(env);
@@ -76,7 +80,30 @@ void AsyncNetwork::backend_send(NodeId from, NodeId to,
   env.words.assign(words.begin(), words.end());
   states_[static_cast<std::size_t>(from)]
       .sent_to[neighbor_index(from, to)] = true;
-  send_envelope(from, to, std::move(env), executing_time_);
+  std::int64_t extra_delay = 0;
+  if (channel_.impaired()) {
+    // Payload-level impairment, keyed on the sender's pulse (unique per
+    // link per pulse, like rounds in SyncNetwork). The envelope itself
+    // always arrives — the synchronizer needs it for pulse accounting — so
+    // a lost payload degrades to an empty marker, and a duplicate arrives
+    // as a second, non-counting copy.
+    const Channel::Fate fate = channel_.decide(from, to, executing_pulse_);
+    if (fate.dropped) {
+      env.has_payload = false;
+      env.words.clear();
+      metrics_.payloads_dropped += 1;
+    } else {
+      extra_delay = fate.delay;
+      if (fate.duplicate) {
+        Envelope copy = env;
+        copy.counts = false;
+        metrics_.payloads_duplicated += 1;
+        send_envelope(from, to, std::move(copy), executing_time_,
+                      fate.dup_delay);
+      }
+    }
+  }
+  send_envelope(from, to, std::move(env), executing_time_, extra_delay);
 }
 
 void AsyncNetwork::schedule_crash(NodeId v, std::int64_t pulse) {

@@ -57,6 +57,8 @@ struct AsyncMetrics {
   std::int64_t payload_messages = 0;  ///< envelopes carrying process payload
   std::int64_t payload_words = 0;     ///< total payload words
   std::int64_t max_message_words = 0; ///< largest payload
+  std::int64_t payloads_dropped = 0;  ///< payloads lost to the channel model
+  std::int64_t payloads_duplicated = 0;  ///< extra copies the channel created
 };
 
 /// Event-driven asynchronous network running one Process per node under an
@@ -127,6 +129,18 @@ class AsyncNetwork final : public NetworkBackend {
   /// (no shard staging). The plane must outlive the network.
   void set_observability(obs::Plane* plane) noexcept { plane_ = plane; }
   [[nodiscard]] obs::Plane* observability() const noexcept { return plane_; }
+
+  /// Installs a link-impairment model applied at the payload level: a lost
+  /// payload degrades to an empty synchronizer marker (the α-synchronizer
+  /// must still observe the pulse or it would deadlock), a duplicated
+  /// payload arrives as a second, non-counting copy, and a reordered
+  /// payload picks up extra link delay. Decisions are stateless hashes of
+  /// (seed, link, sender pulse), mirroring SyncNetwork::set_channel. Call
+  /// before run(). Throws std::invalid_argument on invalid options.
+  void set_channel(const ChannelOptions& options);
+
+  /// The active channel model (counters included).
+  [[nodiscard]] const Channel& channel() const noexcept { return channel_; }
 
  private:
   // NetworkBackend:
@@ -207,7 +221,7 @@ class AsyncNetwork final : public NetworkBackend {
                                            graph::NodeId j) const;
 
   void send_envelope(graph::NodeId from, graph::NodeId to, Envelope env,
-                     std::int64_t now);
+                     std::int64_t now, std::int64_t extra_delay = 0);
 
   const graph::Graph* graph_ = nullptr;
   const geom::UnitDiskGraph* udg_ = nullptr;
@@ -216,6 +230,7 @@ class AsyncNetwork final : public NetworkBackend {
   std::vector<NodeState> states_;
   util::Rng delay_rng_;
   AsyncOptions options_;
+  Channel channel_;
   std::priority_queue<DeliveryEvent, std::vector<DeliveryEvent>, EventLater>
       events_;
   std::uint64_t sequence_ = 0;

@@ -1,6 +1,7 @@
 #include "sim/heartbeat.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace ftc::sim {
@@ -9,7 +10,14 @@ using graph::NodeId;
 
 HeartbeatMonitor::HeartbeatMonitor() : HeartbeatMonitor(Options{}) {}
 
-HeartbeatMonitor::HeartbeatMonitor(Options options) : options_(options) {}
+HeartbeatMonitor::HeartbeatMonitor(Options options) : options_(options) {
+  assert(options_.window >= 0 && options_.window <= 63);
+  assert(options_.misses_to_suspect >= 0 &&
+         options_.misses_to_suspect <= options_.window);
+  if (options_.window > 0 && options_.misses_to_suspect == 0) {
+    options_.misses_to_suspect = options_.window;
+  }
+}
 
 std::size_t HeartbeatMonitor::index_of(NodeId w) const {
   const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), w);
@@ -28,12 +36,17 @@ void HeartbeatMonitor::observe(Context& ctx) {
     // after the same timeout as one that dies later.
     last_heard_.assign(neighbors_.size(), ctx.round() - 1);
     suspected_.assign(neighbors_.size(), 0);
+    // M-of-N grace: a full window of heard beats.
+    heard_bits_.assign(neighbors_.size(), ~std::uint64_t{0});
   }
 
   obs::Recorder* const rec = ctx.obs();
+  // A new observation slot opens for everyone; inbox senders fill theirs.
+  for (std::uint64_t& bits : heard_bits_) bits <<= 1;
   for (const Message& msg : ctx.inbox()) {
     const std::size_t j = index_of(msg.from);
     last_heard_[j] = ctx.round();
+    heard_bits_[j] |= 1;
     if (suspected_[j]) {
       suspected_[j] = 0;
       ++refuted_suspicions_;
@@ -46,8 +59,27 @@ void HeartbeatMonitor::observe(Context& ctx) {
     }
   }
 
+  const bool windowed = options_.window > 0;
+  const std::uint64_t mask =
+      windowed ? ((std::uint64_t{1} << options_.window) - 1) : 0;
   for (std::size_t j = 0; j < neighbors_.size(); ++j) {
-    if (!suspected_[j] && ctx.round() - last_heard_[j] > options_.timeout) {
+    if (suspected_[j]) continue;
+    bool suspect;
+    std::int64_t evidence;
+    if (windowed) {
+      // Suspect only from a silent round (bit 0 clear): hearing a beat is
+      // direct evidence of life, whatever the miss history says.
+      const int misses =
+          options_.window -
+          std::popcount(heard_bits_[j] & mask);
+      suspect = (heard_bits_[j] & 1) == 0 &&
+                misses >= options_.misses_to_suspect;
+      evidence = misses;
+    } else {
+      suspect = ctx.round() - last_heard_[j] > options_.timeout;
+      evidence = ctx.round() - last_heard_[j];
+    }
+    if (suspect) {
       suspected_[j] = 1;
       ++suspicions_raised_;
       if (rec != nullptr) {
@@ -55,7 +87,7 @@ void HeartbeatMonitor::observe(Context& ctx) {
         rec->event(obs::Category::kDetector, obs::Severity::kInfo,
                    rec->builtin().n_suspect, ctx.round(),
                    static_cast<std::int32_t>(ctx.self()), neighbors_[j],
-                   ctx.round() - last_heard_[j]);
+                   evidence);
       }
     }
   }

@@ -34,13 +34,30 @@ namespace ftc::sim {
 
 /// Timeout failure detector; embed one per process and call observe()
 /// first thing in on_round(). See file comment for the contract.
+///
+/// Two suspicion modes:
+///   * consecutive (window == 0, the default): suspect after `timeout`
+///     consecutive silent rounds — perfect under reliable links, but a
+///     short loss streak (p^timeout per link per round) false-suspects;
+///   * M-of-N (window > 0): keep a sliding window of the last `window`
+///     expected beats and suspect only when >= misses_to_suspect of them
+///     are missing *and* the current round is silent. Loss must now defeat
+///     M of N beats instead of a short streak, cutting the false-suspicion
+///     rate by orders of magnitude at equal detection latency (which is
+///     ~misses_to_suspect rounds after a real crash).
 class HeartbeatMonitor {
  public:
   struct Options {
-    /// A neighbor is suspected once round() - last_heard > timeout, i.e.
-    /// after `timeout` consecutive silent rounds beyond the expected gap of
-    /// one round between send and delivery.
+    /// Consecutive mode: a neighbor is suspected once round() - last_heard
+    /// > timeout, i.e. after `timeout` consecutive silent rounds beyond the
+    /// expected gap of one round between send and delivery.
     std::int64_t timeout = 4;
+    /// M-of-N mode when > 0: sliding window length N (max 63 rounds).
+    int window = 0;
+    /// M-of-N mode: misses within the window needed to suspect; must be in
+    /// [1, window] when window > 0 (0 defaults to `window`, i.e. every
+    /// beat in the window missing).
+    int misses_to_suspect = 0;
   };
 
   HeartbeatMonitor();
@@ -78,6 +95,7 @@ class HeartbeatMonitor {
   std::vector<graph::NodeId> neighbors_;   // sorted copy from the Context
   std::vector<std::int64_t> last_heard_;   // per neighbor index
   std::vector<std::uint8_t> suspected_;    // per neighbor index
+  std::vector<std::uint64_t> heard_bits_;  // M-of-N: bit i = heard i rounds ago
   std::int64_t suspicions_raised_ = 0;
   std::int64_t refuted_suspicions_ = 0;
 };

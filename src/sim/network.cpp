@@ -117,7 +117,7 @@ void SyncNetwork::set_threads(int threads) {
 
 void SyncNetwork::set_observability(obs::Plane* plane) {
   plane_ = plane;
-  published_lost_ = messages_lost_;
+  published_ = channel_.counters();
   sync_observability_shards();
 }
 
@@ -214,6 +214,24 @@ void SyncNetwork::apply_scheduled_events() {
       ++it;
     }
   }
+  for (auto it = scheduled_channels_.begin();
+       it != scheduled_channels_.end();) {
+    if (it->first <= round_) {
+      channel_.set_options(it->second, round_);
+      if (plane_ != nullptr) {
+        obs::TraceEvent e;
+        e.round = round_;
+        e.category = obs::Category::kFault;
+        e.severity = obs::Severity::kInfo;
+        e.name = plane_->builtin().n_channel;
+        e.a0 = it->second.impaired() ? 1 : 0;
+        plane_->trace().emit(e);
+      }
+      it = scheduled_channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void SyncNetwork::crash(graph::NodeId v) {
@@ -239,16 +257,30 @@ void SyncNetwork::crash(graph::NodeId v) {
   // is indexed by out_prev_[v] (inboxes are sorted by sender, so each
   // removal is a binary search).
   out_cur_[idx].clear();
-  for (const OutEntry& e : out_prev_[idx]) {
-    auto& box = inboxes_[static_cast<std::size_t>(e.to)];
+  auto erase_from_inbox = [this](graph::NodeId sender, graph::NodeId to) {
+    auto& box = inboxes_[static_cast<std::size_t>(to)];
     auto it = std::lower_bound(
-        box.begin(), box.end(), v,
+        box.begin(), box.end(), sender,
         [](const Message& m, graph::NodeId id) { return m.from < id; });
     auto last = it;
-    while (last != box.end() && last->from == v) ++last;
+    while (last != box.end() && last->from == sender) ++last;
     box.erase(it, last);
+  };
+  for (const OutEntry& e : out_prev_[idx]) {
+    erase_from_inbox(v, e.to);
   }
   out_prev_[idx].clear();
+  // Channel-delayed traffic is not indexed by out_prev_: drop pending
+  // copies touching v, and purge delivered delayed copies from v out of
+  // receivers' inboxes (the erase is idempotent with the pass above).
+  std::erase_if(delayed_pending_, [v](const DelayedMessage& m) {
+    return m.from == v || m.to == v;
+  });
+  for (const DelayedMessage& m : delayed_live_) {
+    if (m.from == v && !crashed_[static_cast<std::size_t>(m.to)]) {
+      erase_from_inbox(v, m.to);
+    }
+  }
   check_counters();
 }
 
@@ -320,31 +352,72 @@ void SyncNetwork::execute_nodes(graph::NodeId begin, graph::NodeId end,
 }
 
 void SyncNetwork::deliver_round() {
-  // Recycle last round's inboxes (only nodes that actually received).
+  // Recycle last round's inboxes (only nodes that actually received), and
+  // the delayed payloads whose views they held.
   for (NodeId v : receivers_) {
     inboxes_[static_cast<std::size_t>(v)].clear();
   }
   receivers_.clear();
+  delayed_live_.clear();
 
   // Senders ascending (shards cover ascending ranges, each list ascending),
-  // so every inbox is built already sorted by sender. The loss stream is
-  // consumed in this same fixed order for every thread count.
-  const bool lossy = message_loss_ > 0.0;
+  // so every inbox is built already sorted by sender. Channel verdicts are
+  // stateless hashes of (link, round), so this order — and the thread
+  // count — cannot influence them.
+  const bool impaired = channel_.impaired();
   for (const auto& senders : shard_senders_cur_) {
     for (NodeId from : senders) {
       for (const OutEntry& e : out_cur_[static_cast<std::size_t>(from)]) {
         const auto to = static_cast<std::size_t>(e.to);
         if (crashed_[to]) continue;  // crashed receivers drop silently
-        if (lossy && loss_rng_.bernoulli(message_loss_)) {
-          ++messages_lost_;
-          continue;
+        const Word* payload = arena_cur_[e.shard].data() + e.offset;
+        if (impaired) {
+          const Channel::Fate fate = channel_.decide(from, e.to, round_);
+          if (fate.dropped) continue;
+          if (fate.duplicate) {
+            delayed_pending_.push_back(
+                {round_ + 1 + fate.dup_delay, from, e.to,
+                 std::vector<Word>(payload, payload + e.len)});
+          }
+          if (fate.delay > 0) {
+            delayed_pending_.push_back(
+                {round_ + 1 + fate.delay, from, e.to,
+                 std::vector<Word>(payload, payload + e.len)});
+            continue;
+          }
         }
         auto& box = inboxes_[to];
         if (box.empty()) receivers_.push_back(e.to);
-        box.push_back(Message{
-            from, WordSpan(arena_cur_[e.shard].data() + e.offset, e.len)});
+        box.push_back(Message{from, WordSpan(payload, e.len)});
       }
     }
+  }
+
+  // Delayed copies due now join the fresh deliveries. Insertion keeps each
+  // inbox sorted by sender (delayed copies land after same-sender fresh
+  // ones); the enqueue order above is deterministic, so this pass is too.
+  if (!delayed_pending_.empty()) {
+    const std::int64_t due = round_ + 1;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < delayed_pending_.size(); ++i) {
+      DelayedMessage& m = delayed_pending_[i];
+      if (m.due != due) {
+        if (keep != i) delayed_pending_[keep] = std::move(m);
+        ++keep;
+        continue;
+      }
+      if (crashed_[static_cast<std::size_t>(m.to)]) continue;
+      delayed_live_.push_back(std::move(m));
+      const DelayedMessage& live = delayed_live_.back();
+      auto& box = inboxes_[static_cast<std::size_t>(live.to)];
+      if (box.empty()) receivers_.push_back(live.to);
+      const auto it = std::upper_bound(
+          box.begin(), box.end(), live.from,
+          [](graph::NodeId id, const Message& msg) { return id < msg.from; });
+      box.insert(it, Message{live.from,
+                             WordSpan(live.words.data(), live.words.size())});
+    }
+    delayed_pending_.resize(keep);
   }
 }
 
@@ -444,10 +517,12 @@ bool SyncNetwork::step() {
   if (pl != nullptr) {
     obs::Registry& reg = pl->metrics();
     reg.add(b->rounds, 1);
-    const std::int64_t lost_delta = messages_lost_ - published_lost_;
-    if (lost_delta != 0) {
-      reg.add(b->messages_lost, lost_delta);
-      published_lost_ = messages_lost_;
+    const Channel::Counters& cc = channel_.counters();
+    if (cc != published_) {
+      reg.add(b->messages_lost, cc.dropped - published_.dropped);
+      reg.add(b->messages_duplicated, cc.duplicated - published_.duplicated);
+      reg.add(b->messages_reordered, cc.reordered - published_.reordered);
+      published_ = cc;
     }
     reg.set(b->live_nodes, live_count_);
     reg.set(b->running_nodes, running_count_);
@@ -494,10 +569,21 @@ void SyncNetwork::schedule_recovery(graph::NodeId v, std::int64_t round,
   scheduled_recoveries_.push_back({round, v, std::move(process)});
 }
 
+void SyncNetwork::set_channel(const ChannelOptions& options) {
+  channel_.set_options(options, round_);  // validates
+}
+
+void SyncNetwork::schedule_channel(std::int64_t round,
+                                   const ChannelOptions& options) {
+  options.validate();
+  scheduled_channels_.emplace_back(round, options);
+}
+
 void SyncNetwork::set_message_loss(double loss, std::uint64_t loss_seed) {
-  assert(loss >= 0.0 && loss < 1.0);
-  message_loss_ = loss;
-  loss_rng_ = util::Rng(loss_seed);
+  ChannelOptions options;
+  options.loss = loss;
+  options.seed = loss_seed;
+  set_channel(options);
 }
 
 }  // namespace ftc::sim

@@ -53,6 +53,7 @@
 #include "geom/udg.h"
 #include "graph/graph.h"
 #include "obs/plane.h"
+#include "sim/channel.h"
 #include "sim/message.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -246,16 +247,30 @@ class SyncNetwork final : public NetworkBackend {
   /// still running afterwards.
   bool step();
 
-  /// Enables lossy links: every message is dropped independently with
+  /// Installs a link-impairment model (loss, asymmetry, bursts,
+  /// duplication, bounded reordering — see sim/channel.h) effective from
+  /// the current round. Decisions are stateless-hashed per (link, round),
+  /// so the set_threads determinism contract is unaffected. Throws
+  /// std::invalid_argument on invalid options. Default: clean channel.
+  void set_channel(const ChannelOptions& options);
+
+  /// Schedules a channel reconfiguration at the start of `round` (e.g. a
+  /// FaultPlan link-fault window opening or closing). Scheduling for a past
+  /// round applies immediately at the next step.
+  void schedule_channel(std::int64_t round, const ChannelOptions& options);
+
+  /// The active channel model (counters included).
+  [[nodiscard]] const Channel& channel() const noexcept { return channel_; }
+
+  /// Enables iid lossy links: every message is dropped independently with
   /// probability `loss` at delivery time (modeling the unreliable wireless
-  /// medium the paper's introduction cites). Uses a dedicated random
-  /// stream, so the processes' own randomness is unaffected. Set before
-  /// running; 0 disables.
+  /// medium the paper's introduction cites). Sugar for set_channel with
+  /// only `loss` set; the processes' own randomness is unaffected.
   void set_message_loss(double loss, std::uint64_t loss_seed = 0x10551055ULL);
 
-  /// Messages dropped by the loss model so far.
+  /// Messages dropped by the channel so far.
   [[nodiscard]] std::int64_t messages_lost() const noexcept {
-    return messages_lost_;
+    return channel_.counters().dropped;
   }
 
   /// Crashes node v immediately: it stops computing and communicating, and
@@ -410,9 +425,24 @@ class SyncNetwork final : public NetworkBackend {
     std::unique_ptr<Process> process;
   };
   std::vector<ScheduledRecovery> scheduled_recoveries_;
-  double message_loss_ = 0.0;
-  util::Rng loss_rng_{0};
-  std::int64_t messages_lost_ = 0;
+  std::vector<std::pair<std::int64_t, ChannelOptions>> scheduled_channels_;
+
+  // Unreliable channel. Delayed (reordered/duplicated) deliveries cannot
+  // alias the round arenas — they outlive the generation swap — so each
+  // owns its payload. `delayed_live_` holds the copies whose views sit in
+  // current inboxes (the inner word vectors are heap buffers, stable under
+  // the outer vector's growth); `delayed_pending_` holds copies still in
+  // flight.
+  struct DelayedMessage {
+    std::int64_t due = 0;  ///< round whose inbox receives the message
+    graph::NodeId from = -1;
+    graph::NodeId to = -1;
+    std::vector<Word> words;
+  };
+  Channel channel_;
+  std::vector<DelayedMessage> delayed_pending_;
+  std::vector<DelayedMessage> delayed_live_;
+
   std::int64_t round_ = 0;
   Metrics metrics_;
 
@@ -420,7 +450,7 @@ class SyncNetwork final : public NetworkBackend {
   // round phase plus one pointer store per node context).
   obs::Plane* plane_ = nullptr;
   std::vector<obs::Recorder> recorders_;     ///< one per shard
-  std::int64_t published_lost_ = 0;          ///< messages_lost_ already published
+  Channel::Counters published_;              ///< channel counters already published
 
   /// (Re)sizes the plane's shard staging and recorders to threads_.
   void sync_observability_shards();

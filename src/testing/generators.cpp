@@ -90,6 +90,23 @@ FuzzCase generate_case(std::uint64_t case_seed, const FuzzConfig& config) {
   c.run_small_oracles =
       c.n <= config.exact_oracle_max_n && rng.bernoulli(0.8);
   c.run_obs = rng.bernoulli(0.3);
+
+  // Channel impairments. Appended after every pre-existing draw so a given
+  // case_seed keeps generating the exact same topology/algorithm fields it
+  // always did — old repro lines stay repro lines.
+  c.dup = rng.bernoulli(0.25) ? rng.uniform(0.0, 0.3) : 0.0;
+  c.reorder = rng.bernoulli(0.25) ? rng.uniform(0.0, 0.3) : 0.0;
+  c.reorder_delay = static_cast<int>(rng.uniform_i64(1, 4));
+  if (rng.bernoulli(0.15)) {
+    c.burst = rng.uniform(0.3, 0.9);
+    c.burst_in = rng.uniform(0.02, 0.2);
+    c.burst_out = rng.uniform(0.2, 0.8);
+  }
+  c.asym = rng.bernoulli(0.2) ? rng.uniform(0.0, 1.0) : 0.0;
+  c.run_transport = rng.bernoulli(0.35);
+  if (config.force_lossy && c.loss == 0.0) {
+    c.loss = rng.uniform(0.05, std::max(0.05, config.max_loss));
+  }
   return c;
 }
 
@@ -191,6 +208,20 @@ Instance materialize(const FuzzCase& c) {
   return inst;
 }
 
+sim::ChannelOptions channel_from_case(const FuzzCase& c) {
+  sim::ChannelOptions o;
+  o.loss = std::clamp(c.loss, 0.0, 0.999);
+  o.asymmetry = std::clamp(c.asym, 0.0, 1.0);
+  o.duplicate = std::clamp(c.dup, 0.0, 1.0);
+  o.reorder = std::clamp(c.reorder, 0.0, 1.0);
+  o.max_reorder_delay = std::max(1, c.reorder_delay);
+  o.burst_loss = std::clamp(c.burst, 0.0, 0.999);
+  o.p_enter_burst = std::clamp(c.burst_in, 0.0, 1.0);
+  o.p_exit_burst = std::clamp(c.burst_out, 0.001, 1.0);
+  o.seed = c.algo_seed ^ 0x10551055ULL;
+  return o;
+}
+
 const char* family_name(GraphFamily family) {
   switch (family) {
     case GraphFamily::kGnp: return "gnp";
@@ -247,7 +278,15 @@ std::string to_string(const FuzzCase& c) {
      << " run_differential=" << (c.run_differential ? 1 : 0)
      << " run_async=" << (c.run_async ? 1 : 0)
      << " run_small_oracles=" << (c.run_small_oracles ? 1 : 0)
-     << " run_obs=" << (c.run_obs ? 1 : 0);
+     << " run_obs=" << (c.run_obs ? 1 : 0)
+     << " dup=" << fmt_double(c.dup)
+     << " reorder=" << fmt_double(c.reorder)
+     << " reorder_delay=" << c.reorder_delay
+     << " burst=" << fmt_double(c.burst)
+     << " burst_in=" << fmt_double(c.burst_in)
+     << " burst_out=" << fmt_double(c.burst_out)
+     << " asym=" << fmt_double(c.asym)
+     << " run_transport=" << (c.run_transport ? 1 : 0);
   return os.str();
 }
 
@@ -325,12 +364,20 @@ FuzzCase parse_fuzz_case(const std::string& line) {
   c.run_async = to_i64(take("run_async")) != 0;
   c.run_small_oracles = to_i64(take("run_small_oracles")) != 0;
   c.run_obs = to_i64(take("run_obs")) != 0;
+  c.dup = to_dbl(take("dup"));
+  c.reorder = to_dbl(take("reorder"));
+  c.reorder_delay = static_cast<int>(to_i64(take("reorder_delay")));
+  c.burst = to_dbl(take("burst"));
+  c.burst_in = to_dbl(take("burst_in"));
+  c.burst_out = to_dbl(take("burst_out"));
+  c.asym = to_dbl(take("asym"));
+  c.run_transport = to_i64(take("run_transport")) != 0;
   if (!kv.empty()) {
     throw std::invalid_argument("fuzz case: unknown key '" +
                                 kv.begin()->first + "'");
   }
   if (c.n < 1 || c.t < 1 || c.k < 1 || c.threads < 1 ||
-      c.min_delay < 1 || c.max_delay < c.min_delay) {
+      c.min_delay < 1 || c.max_delay < c.min_delay || c.reorder_delay < 1) {
     throw std::invalid_argument("fuzz case: field out of range");
   }
   return c;

@@ -19,6 +19,7 @@
 #include "domination/domination.h"
 #include "geom/udg.h"
 #include "graph/graph.h"
+#include "sim/channel.h"
 
 namespace ftc::testing {
 
@@ -64,6 +65,9 @@ struct FuzzConfig {
   double max_loss = 0.3;     ///< maximum message-loss probability
   /// Nodes at or below which the exact branch-and-bound oracle is eligible.
   graph::NodeId exact_oracle_max_n = 22;
+  /// Loss-fuzz mode: force every case onto an impaired channel (at least
+  /// iid loss), so a campaign concentrates on the unreliable-link paths.
+  bool force_lossy = false;
 };
 
 /// One fully-specified fuzz case. All fields that affect execution are
@@ -94,6 +98,17 @@ struct FuzzCase {
   std::int64_t max_delay = 8;
   std::uint64_t delay_seed = 1;  ///< async delay randomness
   double loss = 0.0;             ///< message-loss probability
+
+  // Channel impairment beyond iid loss (sim/channel.h); all default to a
+  // clean channel so pre-existing case lines shrink naturally.
+  double dup = 0.0;              ///< per-delivery duplication probability
+  double reorder = 0.0;          ///< per-delivery reorder probability
+  int reorder_delay = 2;         ///< max extra rounds a delayed copy waits
+  double burst = 0.0;            ///< Gilbert–Elliott burst-state loss
+  double burst_in = 0.0;         ///< per-round good→burst probability
+  double burst_out = 0.5;        ///< per-round burst→good probability
+  double asym = 0.0;             ///< directed-link loss asymmetry in [0, 1]
+  bool run_transport = false;    ///< reliable-transport invariant suite
 
   // Fault process.
   FaultKind fault_kind = FaultKind::kNone;
@@ -141,6 +156,11 @@ struct Instance {
 /// defensively clamped to valid ranges so that *any* field mutation the
 /// shrinker performs still yields a well-formed instance. Deterministic.
 [[nodiscard]] Instance materialize(const FuzzCase& c);
+
+/// The channel mix a case describes, clamped into validity (same
+/// shrinker-robust philosophy as materialize); impaired() == false iff the
+/// case carries no link impairment at all.
+[[nodiscard]] sim::ChannelOptions channel_from_case(const FuzzCase& c);
 
 /// Human-readable family name ("gnp", "udg_uniform", ...).
 [[nodiscard]] const char* family_name(GraphFamily family);

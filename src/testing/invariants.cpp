@@ -20,6 +20,7 @@
 #include "sim/async.h"
 #include "sim/fault.h"
 #include "sim/network.h"
+#include "sim/transport.h"
 
 namespace ftc::testing {
 
@@ -77,10 +78,11 @@ struct LpDistRun {
 };
 
 LpDistRun run_lp_distributed(const Graph& g, const Demands& demands, int t,
-                             std::uint64_t seed, int threads, double loss) {
+                             std::uint64_t seed, int threads,
+                             const sim::ChannelOptions& channel) {
   sim::SyncNetwork net(g, seed);
   net.set_threads(threads);
-  if (loss > 0.0) net.set_message_loss(loss, seed ^ 0x10551055ULL);
+  if (channel.impaired()) net.set_channel(channel);
   net.set_all_processes([&](NodeId v) {
     return std::make_unique<algo::LpKmdsProcess>(
         demands[static_cast<std::size_t>(v)], t);
@@ -110,11 +112,12 @@ RoundingDistRun run_rounding_distributed(const Graph& g,
                                          const std::vector<double>& x,
                                          const Demands& demands,
                                          std::uint64_t seed, int threads,
-                                         double loss, obs::Plane* plane) {
+                                         const sim::ChannelOptions& channel,
+                                         obs::Plane* plane) {
   sim::SyncNetwork net(g, seed);
   net.set_threads(threads);
   if (plane != nullptr) net.set_observability(plane);
-  if (loss > 0.0) net.set_message_loss(loss, seed ^ 0x10551055ULL);
+  if (channel.impaired()) net.set_channel(channel);
   net.set_all_processes([&](NodeId v) {
     const auto i = static_cast<std::size_t>(v);
     return std::make_unique<algo::RoundingProcess>(x[i], demands[i]);
@@ -134,11 +137,12 @@ void check_differential(const FuzzCase& c, const Graph& g,
                         const Demands& demands, const algo::LpResult& mirror_lp,
                         const algo::RoundingResult& mirror_rounding,
                         Violations& out) {
-  // Mirror vs distributed (lossless contract): the per-node processes must
-  // reproduce the centralized mirror bit for bit.
-  if (c.loss == 0.0) {
-    const LpDistRun serial =
-        run_lp_distributed(g, demands, c.t, c.algo_seed, 1, 0.0);
+  // Mirror vs distributed (clean-channel contract): the per-node processes
+  // must reproduce the centralized mirror bit for bit.
+  const sim::ChannelOptions channel = channel_from_case(c);
+  if (!channel.impaired()) {
+    const LpDistRun serial = run_lp_distributed(g, demands, c.t, c.algo_seed,
+                                                1, sim::ChannelOptions{});
     if (serial.x != mirror_lp.primal.x || serial.y != mirror_lp.dual.y ||
         serial.z != mirror_lp.dual.z) {
       add(out, "lp.differential", "distributed LP != centralized mirror");
@@ -154,16 +158,17 @@ void check_differential(const FuzzCase& c, const Graph& g,
               std::to_string(serial.metrics.max_message_words));
     }
     if (c.threads > 1) {
-      const LpDistRun parallel =
-          run_lp_distributed(g, demands, c.t, c.algo_seed, c.threads, 0.0);
+      const LpDistRun parallel = run_lp_distributed(
+          g, demands, c.t, c.algo_seed, c.threads, sim::ChannelOptions{});
       if (parallel != serial) {
         add(out, "engine.lp_parallel",
             "LP run differs at threads=" + std::to_string(c.threads));
       }
     }
 
-    const RoundingDistRun rserial = run_rounding_distributed(
-        g, mirror_lp.primal.x, demands, c.algo_seed, 1, 0.0, nullptr);
+    const RoundingDistRun rserial =
+        run_rounding_distributed(g, mirror_lp.primal.x, demands, c.algo_seed,
+                                 1, sim::ChannelOptions{}, nullptr);
     if (rserial.set != mirror_rounding.set) {
       add(out, "rounding.differential",
           "distributed rounding != centralized mirror (" +
@@ -180,23 +185,25 @@ void check_differential(const FuzzCase& c, const Graph& g,
           "rounding took " + std::to_string(rserial.executed) + " rounds");
     }
     if (c.threads > 1) {
-      const RoundingDistRun rparallel = run_rounding_distributed(
-          g, mirror_lp.primal.x, demands, c.algo_seed, c.threads, 0.0, nullptr);
+      const RoundingDistRun rparallel =
+          run_rounding_distributed(g, mirror_lp.primal.x, demands, c.algo_seed,
+                                   c.threads, sim::ChannelOptions{}, nullptr);
       if (rparallel != rserial) {
         add(out, "engine.rounding_parallel",
             "rounding run differs at threads=" + std::to_string(c.threads));
       }
     }
   } else if (c.threads > 1) {
-    // Under loss the outcome is loss-seed-dependent but still a pure
-    // function of the case: the engine must stay width-invariant.
+    // Under an impaired channel the outcome is channel-seed-dependent but
+    // still a pure function of the case: the engine must stay
+    // width-invariant through loss, duplication, and reordering.
     const LpDistRun serial =
-        run_lp_distributed(g, demands, c.t, c.algo_seed, 1, c.loss);
+        run_lp_distributed(g, demands, c.t, c.algo_seed, 1, channel);
     const LpDistRun parallel =
-        run_lp_distributed(g, demands, c.t, c.algo_seed, c.threads, c.loss);
+        run_lp_distributed(g, demands, c.t, c.algo_seed, c.threads, channel);
     if (parallel != serial) {
       add(out, "engine.lp_parallel",
-          "lossy LP run differs at threads=" + std::to_string(c.threads));
+          "impaired LP run differs at threads=" + std::to_string(c.threads));
     }
   }
 }
@@ -410,7 +417,11 @@ RepairRun run_repair(const FuzzCase& c, const Instance& inst,
     net = std::make_unique<sim::SyncNetwork>(inst.g, c.algo_seed);
   }
   net->set_threads(threads);
-  if (c.loss > 0.0) net->set_message_loss(c.loss, c.algo_seed ^ 0xC0FFEEULL);
+  sim::ChannelOptions channel = channel_from_case(c);
+  if (channel.impaired()) {
+    channel.seed = c.algo_seed ^ 0xC0FFEEULL;
+    net->set_channel(channel);
+  }
   net->set_all_processes([&](NodeId v) {
     return make_process(v, base_member[static_cast<std::size_t>(v)] != 0);
   });
@@ -462,9 +473,11 @@ void check_repair(const FuzzCase& c, const Instance& inst, Violations& out) {
     }
   }
 
-  // The oracle comparison needs perfect detection (no loss) and a
+  // The oracle comparison needs perfect detection (a clean channel) and a
   // crash-only plan (the oracle has no churn model).
-  if (c.loss > 0.0 || c.fault_kind == FaultKind::kChurn) return;
+  if (channel_from_case(c).impaired() || c.fault_kind == FaultKind::kChurn) {
+    return;
+  }
 
   const auto oracle = algo::repair_after_failures(g, base, failed, demands);
   const Graph live = g.without_nodes(failed);
@@ -488,6 +501,121 @@ void check_repair(const FuzzCase& c, const Instance& inst, Violations& out) {
   }
 }
 
+// -------------------------------------------------------------- transport
+
+/// Max-id flood where every update travels through the reliable transport:
+/// the channel may drop, duplicate, and reorder frames, yet every node must
+/// still converge to its component's maximum id — the end-to-end statement
+/// of the transport's exactly-once, in-order delivery contract.
+class TransportFloodProcess final : public sim::Process {
+ public:
+  void on_round(sim::Context& ctx) override {
+    if (value_ < 0) {
+      value_ = static_cast<sim::Word>(ctx.self());
+      dirty_ = true;
+    }
+    for (const auto& d : transport_.receive(ctx)) {
+      if (d.words.at(0) > value_) {
+        value_ = d.words.at(0);
+        dirty_ = true;
+      }
+    }
+    if (dirty_) {
+      transport_.broadcast(ctx, {value_});
+      dirty_ = false;
+    }
+    transport_.flush(ctx);
+  }
+
+  [[nodiscard]] sim::Word value() const noexcept { return value_; }
+  [[nodiscard]] const sim::ReliableTransport& transport() const noexcept {
+    return transport_;
+  }
+
+ private:
+  sim::ReliableTransport transport_;
+  sim::Word value_ = -1;
+  bool dirty_ = false;
+};
+
+struct TransportRun {
+  std::vector<sim::Word> values;
+  std::int64_t frames = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t delivered = 0;
+  sim::Metrics metrics;
+
+  friend bool operator==(const TransportRun&, const TransportRun&) = default;
+};
+
+TransportRun run_transport_flood(const FuzzCase& c, const Graph& g,
+                                 int threads, std::int64_t budget) {
+  sim::SyncNetwork net(g, c.algo_seed);
+  net.set_threads(threads);
+  const sim::ChannelOptions channel = channel_from_case(c);
+  if (channel.impaired()) net.set_channel(channel);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<TransportFloodProcess>(); });
+  net.run(budget);
+  TransportRun run;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto& p = net.process_as<TransportFloodProcess>(v);
+    run.values.push_back(p.value());
+    run.frames += p.transport().frames_sent();
+    run.retransmissions += p.transport().retransmissions();
+    run.duplicates += p.transport().duplicates_suppressed();
+    run.delivered += p.transport().delivered();
+  }
+  run.metrics = net.metrics();
+  return run;
+}
+
+void check_transport(const FuzzCase& c, const Graph& g, Violations& out) {
+  // Retransmission latency is geometric, so the budget is generous: the
+  // flood's longest per-link backlog is O(n) payloads at a couple of rounds
+  // each, inflated by loss. A failure to converge inside it is a transport
+  // bug for any channel the generator can produce, not bad luck.
+  const std::int64_t budget = 160 + 16 * static_cast<std::int64_t>(g.n());
+  const TransportRun serial = run_transport_flood(c, g, 1, budget);
+
+  // Reliable-equivalence: the impaired-channel flood must end exactly where
+  // a clean-channel run ends — every node at its component's maximum id.
+  std::vector<sim::Word> expected(static_cast<std::size_t>(g.n()), -1);
+  for (NodeId v = g.n() - 1; v >= 0; --v) {
+    if (expected[static_cast<std::size_t>(v)] >= 0) continue;
+    std::vector<NodeId> stack{v};
+    expected[static_cast<std::size_t>(v)] = v;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const NodeId w : g.neighbors(u)) {
+        if (expected[static_cast<std::size_t>(w)] < 0) {
+          expected[static_cast<std::size_t>(w)] = v;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  if (serial.values != expected) {
+    std::int64_t stuck = 0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      if (serial.values[i] != expected[i]) ++stuck;
+    }
+    add(out, "transport.convergence",
+        std::to_string(stuck) + " nodes missed their component max over " +
+            std::to_string(budget) + " rounds");
+  }
+
+  if (c.threads > 1) {
+    const TransportRun parallel = run_transport_flood(c, g, c.threads, budget);
+    if (parallel != serial) {
+      add(out, "engine.transport_parallel",
+          "transport flood differs at threads=" + std::to_string(c.threads));
+    }
+  }
+}
+
 // -------------------------------------------------------------------- obs
 
 void check_obs(const FuzzCase& c, const Graph& g, const Demands& demands,
@@ -495,8 +623,9 @@ void check_obs(const FuzzCase& c, const Graph& g, const Demands& demands,
   std::vector<std::int64_t> registry_values;
   for (const int threads : {1, c.threads}) {
     obs::Plane plane;
-    const RoundingDistRun run = run_rounding_distributed(
-        g, mirror_lp.primal.x, demands, c.algo_seed, threads, c.loss, &plane);
+    const RoundingDistRun run =
+        run_rounding_distributed(g, mirror_lp.primal.x, demands, c.algo_seed,
+                                 threads, channel_from_case(c), &plane);
     const auto& b = plane.builtin();
     const auto& reg = plane.metrics();
     const std::vector<std::int64_t> values = {
@@ -597,6 +726,9 @@ Violations check_case(const FuzzCase& c, Mutation mutation) {
   }
   if (c.fault_kind != FaultKind::kNone) {
     check_repair(c, inst, out);
+  }
+  if (c.run_transport) {
+    check_transport(c, g, out);
   }
   if (c.run_obs) {
     check_obs(c, g, demands, lp, out);

@@ -64,6 +64,21 @@ bool shrink_pass(FuzzCase& c, Mutation mutation, const std::string& invariant,
   // repro's moving parts even when it cannot shrink n.
   try_mutation([](FuzzCase& f) { f.fault_kind = FaultKind::kNone; });
   try_mutation([](FuzzCase& f) { f.loss = 0.0; });
+  try_mutation([](FuzzCase& f) {
+    f.dup = 0.0;
+    f.reorder = 0.0;
+    f.burst = 0.0;
+    f.burst_in = 0.0;
+    f.asym = 0.0;
+  });
+  try_mutation([](FuzzCase& f) { f.dup = 0.0; });
+  try_mutation([](FuzzCase& f) { f.reorder = 0.0; });
+  try_mutation([](FuzzCase& f) {
+    f.burst = 0.0;
+    f.burst_in = 0.0;
+  });
+  try_mutation([](FuzzCase& f) { f.asym = 0.0; });
+  try_mutation([](FuzzCase& f) { f.run_transport = false; });
   try_mutation([](FuzzCase& f) { f.threads = 1; });
   try_mutation([](FuzzCase& f) { f.run_obs = false; });
   try_mutation([](FuzzCase& f) { f.run_async = false; });

@@ -119,8 +119,9 @@ TEST_P(RepairDifferential, MatchesCentralizedOracleWithinSlack) {
     EXPECT_EQ(dist.unsatisfied, 0);
   }
 
-  // O(log n) bits: the protocol never exceeds one word per message.
-  EXPECT_EQ(dist.max_message_words, 1);
+  // O(log n) bits: the protocol never exceeds two words per message
+  // (phase tag + value).
+  EXPECT_EQ(dist.max_message_words, 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(

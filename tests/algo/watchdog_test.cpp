@@ -1,0 +1,193 @@
+#include "algo/extensions/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algo/extensions/repair_process.h"
+#include "graph/generators.h"
+#include "obs/plane.h"
+#include "sim/channel.h"
+#include "sim/network.h"
+
+namespace ftc::algo {
+namespace {
+
+using domination::Demands;
+using graph::NodeId;
+
+/// A node that does nothing: membership lives in a host-side array, so the
+/// watchdog is the only repair mechanism in the deployment.
+class InertProcess final : public sim::Process {
+ public:
+  void on_round(sim::Context&) override {}
+};
+
+TEST(CoverageWatchdog, CleanDeploymentStaysInSlo) {
+  const graph::Graph g = graph::complete(6);
+  sim::SyncNetwork net(g, 1);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<InertProcess>(); });
+
+  std::vector<char> members(6, 0);
+  members[0] = 1;  // one member dominates a complete graph with k = 1
+  CoverageWatchdog wd(
+      Demands(6, 1), {},
+      [&](NodeId v) { return members[static_cast<std::size_t>(v)] != 0; },
+      [&](NodeId v) { members[static_cast<std::size_t>(v)] = 1; });
+
+  for (int r = 0; r < 40; ++r) {
+    net.step();
+    EXPECT_FALSE(wd.poll(net));
+  }
+  EXPECT_EQ(wd.violation_rounds(), 0);
+  EXPECT_EQ(wd.uncovered_demand(), 0);
+  EXPECT_EQ(wd.interventions(), 0);
+  EXPECT_EQ(wd.promotions_issued(), 0);
+}
+
+TEST(CoverageWatchdog, PatienceGatesTheEscalation) {
+  const graph::Graph g = graph::complete(6);
+  sim::SyncNetwork net(g, 2);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<InertProcess>(); });
+  net.schedule_crash(0, 5);
+
+  std::vector<char> members(6, 0);
+  members[0] = 1;
+  CoverageWatchdogOptions opts;
+  opts.patience = 4;
+  CoverageWatchdog wd(
+      Demands(6, 1), opts,
+      [&](NodeId v) { return members[static_cast<std::size_t>(v)] != 0; },
+      [&](NodeId v) { members[static_cast<std::size_t>(v)] = 1; });
+
+  std::int64_t first_violation = -1;
+  std::int64_t restored = -1;
+  for (int r = 0; r < 30; ++r) {
+    net.step();
+    const bool violated = wd.poll(net);
+    if (violated && first_violation < 0) first_violation = net.round();
+    if (!violated && first_violation >= 0 && restored < 0) {
+      restored = net.round();
+    }
+  }
+
+  // The only member crashed and nothing in the network repairs: the watchdog
+  // tolerates exactly `patience` violating polls, then promotes a live node.
+  EXPECT_EQ(wd.interventions(), 1);
+  EXPECT_EQ(wd.violation_rounds(), opts.patience);
+  EXPECT_EQ(wd.promotions_issued(), 1);
+  EXPECT_EQ(wd.uncovered_demand(), 0);
+  ASSERT_GE(first_violation, 0);
+  ASSERT_GE(restored, 0);
+  EXPECT_EQ(restored - first_violation, opts.patience);
+  EXPECT_EQ(wd.streak(), 0);
+}
+
+TEST(CoverageWatchdog, UnsatisfiableResidueIsNotAViolation) {
+  // Two isolated nodes, k = 1 each: when one crashes, the survivor covers
+  // itself and the dead node's demand vanishes with it — no violation.
+  const graph::Graph g = graph::empty(2);
+  sim::SyncNetwork net(g, 3);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<InertProcess>(); });
+  net.schedule_crash(1, 3);
+
+  std::vector<char> members(2, 1);  // both self-cover
+  CoverageWatchdog wd(
+      Demands(2, 1), {},
+      [&](NodeId v) { return members[static_cast<std::size_t>(v)] != 0; },
+      [&](NodeId v) { members[static_cast<std::size_t>(v)] = 1; });
+  for (int r = 0; r < 10; ++r) {
+    net.step();
+    EXPECT_FALSE(wd.poll(net));
+  }
+  EXPECT_EQ(wd.violation_rounds(), 0);
+  EXPECT_EQ(wd.interventions(), 0);
+}
+
+TEST(CoverageWatchdog, PublishesSloMetricsAndInterventionTrace) {
+  const graph::Graph g = graph::complete(5);
+  sim::SyncNetwork net(g, 4);
+  obs::Plane plane;
+  net.set_observability(&plane);
+  net.set_all_processes(
+      [](NodeId) { return std::make_unique<InertProcess>(); });
+  net.schedule_crash(0, 2);
+
+  std::vector<char> members(5, 0);
+  members[0] = 1;
+  CoverageWatchdogOptions opts;
+  opts.patience = 3;
+  CoverageWatchdog wd(
+      Demands(5, 1), opts,
+      [&](NodeId v) { return members[static_cast<std::size_t>(v)] != 0; },
+      [&](NodeId v) { members[static_cast<std::size_t>(v)] = 1; });
+  for (int r = 0; r < 12; ++r) {
+    net.step();
+    wd.poll(net);
+  }
+
+  const auto& reg = plane.metrics();
+  EXPECT_EQ(reg.value(reg.find("slo.coverage_violation_rounds")),
+            wd.violation_rounds());
+  EXPECT_EQ(reg.value(reg.find("slo.uncovered_demand")), 0);
+  EXPECT_EQ(reg.value(reg.find("watchdog.interventions")), 1);
+  EXPECT_EQ(reg.value(reg.find("watchdog.promotions")),
+            wd.promotions_issued());
+}
+
+// Acceptance scenario from the issue: a RepairProcess deployment under 30%
+// iid loss with crashed members. The protocol heals from inside (with
+// M-of-N detection tuned for lossy links); the watchdog audits ground-truth
+// k-coverage, counts the out-of-SLO window, and escalates with idempotent
+// promotion re-issues if the lossy waves stall. Either way the SLO metric
+// must show coverage restored and then hold.
+TEST(CoverageWatchdog, RestoresCoverageUnderThirtyPercentLoss) {
+  const graph::Graph g = graph::complete(10);
+  sim::SyncNetwork net(g, 77);
+  sim::ChannelOptions channel;
+  channel.loss = 0.3;
+  channel.seed = 2026;
+  net.set_channel(channel);
+
+  const Demands demands(10, 2);
+  RepairProcessOptions popts;
+  popts.detection_window = 12;
+  popts.detection_misses = 9;
+  net.set_all_processes([&](NodeId v) {
+    return std::make_unique<RepairProcess>(demands[static_cast<std::size_t>(v)],
+                                           v < 2, popts);
+  });
+  net.schedule_crash(0, 10);
+  net.schedule_crash(1, 14);
+
+  auto live_member = [&](NodeId v) {
+    return !net.crashed(v) && net.process_as<RepairProcess>(v).member();
+  };
+  CoverageWatchdogOptions wopts;
+  wopts.patience = 10;
+  CoverageWatchdog wd(
+      demands, wopts, live_member,
+      [&](NodeId v) { net.process_as<RepairProcess>(v).promote(); });
+
+  for (int r = 0; r < 240; ++r) {
+    net.step();
+    wd.poll(net);
+  }
+  EXPECT_GT(wd.violation_rounds(), 0);  // both initial members died
+  EXPECT_EQ(wd.uncovered_demand(), 0);  // ...and coverage came back
+
+  // SLO holds from here on: more rounds add no violation time.
+  const std::int64_t settled = wd.violation_rounds();
+  for (int r = 0; r < 60; ++r) {
+    net.step();
+    EXPECT_FALSE(wd.poll(net));
+  }
+  EXPECT_EQ(wd.violation_rounds(), settled);
+}
+
+}  // namespace
+}  // namespace ftc::algo

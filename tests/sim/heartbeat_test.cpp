@@ -105,6 +105,107 @@ TEST(HeartbeatMonitor, FalseSuspicionsAreRefutedUnderLoss) {
   EXPECT_LE(refuted, raised);
 }
 
+/// BeaconProcess with the full detector option set (M-of-N experiments).
+class WindowedBeacon final : public Process {
+ public:
+  explicit WindowedBeacon(HeartbeatMonitor::Options options)
+      : monitor_(options) {}
+
+  void on_round(Context& ctx) override {
+    monitor_.observe(ctx);
+    ctx.broadcast({Word{1}});
+    if (ctx.round() >= 59) halt();
+  }
+
+  HeartbeatMonitor monitor_;
+};
+
+struct SuspicionStats {
+  std::int64_t raised = 0;
+  std::int64_t refuted = 0;
+
+  friend bool operator==(const SuspicionStats&,
+                         const SuspicionStats&) = default;
+};
+
+/// All-live beacon mesh under iid loss: every suspicion raised is false.
+SuspicionStats run_all_live(double loss, int threads,
+                            HeartbeatMonitor::Options options) {
+  const graph::Graph g = graph::complete(6);
+  SyncNetwork net(g, 9);
+  net.set_threads(threads);
+  if (loss > 0.0) net.set_message_loss(loss, 777);
+  net.set_all_processes(
+      [&](NodeId) { return std::make_unique<WindowedBeacon>(options); });
+  net.run(60);
+  SuspicionStats stats;
+  for (NodeId v = 0; v < 6; ++v) {
+    const auto& m = net.process_as<WindowedBeacon>(v).monitor_;
+    stats.raised += m.suspicions_raised();
+    stats.refuted += m.refuted_suspicions();
+  }
+  return stats;
+}
+
+TEST(HeartbeatMonitor, FalseSuspicionBoundsAcrossLossAndWidths) {
+  // M-of-N detector tuned for lossy links: suspect after 9 missed beats in
+  // a 10-round window. With 6 nodes x 5 neighbors x 60 rounds there are
+  // ~1800 suspicion opportunities per run; the false-suspicion probability
+  // per opportunity is ~1.4e-4 at 30% iid loss and ~1e-8 at 10%, so the
+  // totals must stay tiny — and identical at every engine width.
+  HeartbeatMonitor::Options options;
+  options.window = 10;
+  options.misses_to_suspect = 9;
+  for (const double loss : {0.0, 0.1, 0.3}) {
+    const SuspicionStats serial = run_all_live(loss, 1, options);
+    if (loss == 0.0) {
+      EXPECT_EQ(serial.raised, 0);
+    } else {
+      EXPECT_LE(serial.raised, 3) << "loss=" << loss;
+    }
+    // Every false suspicion is eventually refuted by the live beacon; at
+    // run end at most a handful can still be pending.
+    EXPECT_LE(serial.raised - serial.refuted, 2) << "loss=" << loss;
+    for (int threads = 2; threads <= 8; ++threads) {
+      EXPECT_EQ(run_all_live(loss, threads, options), serial)
+          << "loss=" << loss << " threads=" << threads;
+    }
+  }
+}
+
+TEST(HeartbeatMonitor, WindowedModeBeatsConsecutiveTimeoutsUnderLoss) {
+  // At 30% loss an aggressive consecutive-timeout detector false-suspects
+  // constantly; the M-of-N detector with the same detection latency is far
+  // quieter. (Both deterministic: fixed seeds.)
+  HeartbeatMonitor::Options consecutive;
+  consecutive.timeout = 1;
+  HeartbeatMonitor::Options windowed;
+  windowed.window = 8;
+  windowed.misses_to_suspect = 6;
+  const SuspicionStats noisy = run_all_live(0.3, 1, consecutive);
+  const SuspicionStats quiet = run_all_live(0.3, 1, windowed);
+  EXPECT_GT(noisy.raised, 0);
+  EXPECT_LT(quiet.raised, noisy.raised);
+}
+
+TEST(HeartbeatMonitor, WindowedModeStillDetectsRealCrash) {
+  const graph::Graph g = graph::complete(4);
+  SyncNetwork net(g, 5);
+  net.set_message_loss(0.2, 31);
+  HeartbeatMonitor::Options options;
+  options.window = 8;
+  options.misses_to_suspect = 6;
+  net.set_all_processes(
+      [&](NodeId) { return std::make_unique<WindowedBeacon>(options); });
+  net.schedule_crash(3, 10);
+  net.run(60);
+  for (NodeId v = 0; v < 3; ++v) {
+    // A dead neighbor misses every slot: permanently suspected.
+    EXPECT_TRUE(net.process_as<WindowedBeacon>(v).monitor_.suspects(3))
+        << "node " << v;
+  }
+}
+
 TEST(HeartbeatMonitor, RefutationClearsTheSuspectList) {
   // Manually drive a monitor through a silence gap followed by a beacon.
   const graph::Graph g = graph::path(2);

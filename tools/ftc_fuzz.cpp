@@ -34,6 +34,7 @@ int usage(const char* program) {
   std::fprintf(stderr,
                "usage: %s run    [--cases=N] [--seed=S] [--mutation=M]\n"
                "                 [--max-failures=F] [--max-n=N] [--progress=K]\n"
+               "                 [--lossy]\n"
                "       %s replay <case-seed> | --case=\"...\" [--mutation=M]\n"
                "       %s shrink <case-seed> | --case=\"...\" [--mutation=M]\n"
                "                 [--max-steps=B]\n"
@@ -43,13 +44,16 @@ int usage(const char* program) {
 }
 
 void print_violations(const testing::FuzzCase& c,
-                      const testing::Violations& violations) {
+                      const testing::Violations& violations,
+                      bool lossy = false) {
   for (const auto& v : violations) {
     std::printf("  violation %-24s %s\n", v.invariant.c_str(),
                 v.detail.c_str());
   }
-  std::printf("  repro: ftc-fuzz replay %llu\n",
-              static_cast<unsigned long long>(c.case_seed));
+  // --lossy changes what a bare seed generates, so the repro carries it.
+  std::printf("  repro: ftc-fuzz replay %llu%s\n",
+              static_cast<unsigned long long>(c.case_seed),
+              lossy ? " --lossy" : "");
   std::printf("  case:  %s\n", testing::to_string(c).c_str());
 }
 
@@ -91,7 +95,8 @@ int cmd_run(const util::Args& args, const testing::FuzzConfig& config,
     std::printf("FAIL case_seed=%llu (root seed %llu)\n",
                 static_cast<unsigned long long>(failure.case_seed),
                 static_cast<unsigned long long>(options.seed));
-    print_violations(failure.fuzz_case, failure.violations);
+    print_violations(failure.fuzz_case, failure.violations,
+                     config.force_lossy);
   }
   std::printf("%s: %lld cases, %zu failure(s), seed %llu%s%s\n",
               report.ok() ? "OK" : "FAILED",
@@ -152,6 +157,7 @@ int main(int argc, char** argv) {
     testing::FuzzConfig config;
     config.max_n = static_cast<graph::NodeId>(
         args.get_int("max-n", config.max_n));
+    config.force_lossy = args.get_bool("lossy", false);
     const testing::Mutation mutation =
         testing::parse_mutation(args.get_string("mutation", "none"));
 
