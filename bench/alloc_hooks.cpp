@@ -1,0 +1,102 @@
+// Replacement global operator new/delete that counts every allocation.
+//
+// This must be a standalone, non-inline TU: the replacements only take
+// effect when their strong definitions land in the final link, and inline
+// definitions in a header would be UB (ODR) once two TUs included it. The
+// hooks forward to malloc/free, so sanitizer interceptors (ASan/TSan wrap
+// malloc, not our operator new) keep working underneath.
+#include "alloc_hooks.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_count{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void* counted_malloc(std::size_t size) noexcept {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned(std::size_t size, std::size_t align) noexcept {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+namespace ftc::bench {
+
+AllocCounts alloc_counts() noexcept {
+  return {g_count.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace ftc::bench
+
+void* operator new(std::size_t size) {
+  void* p = counted_malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,22 @@
+// Process-wide allocation counters fed by the replacement global operator
+// new/delete in alloc_hooks.cpp. Every bench binary compiles that TU in, so
+// alloc_counts() is always strongly defined; the counters let tables report
+// allocations-per-row and the round engine prove its steady-state
+// "amortized zero allocations per round" claim with a number.
+#pragma once
+
+#include <cstdint>
+
+namespace ftc::bench {
+
+/// Cumulative allocation totals since process start.
+struct AllocCounts {
+  std::uint64_t count = 0;  // operator new calls
+  std::uint64_t bytes = 0;  // bytes requested
+};
+
+/// Snapshot of the global counters (relaxed loads; exact in single-threaded
+/// phases, approximate-but-monotonic while the pool is running).
+[[nodiscard]] AllocCounts alloc_counts() noexcept;
+
+}  // namespace ftc::bench

@@ -13,6 +13,11 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "alloc_hooks.h"
 #include "obs/metrics.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -20,6 +25,24 @@
 #include "util/table.h"
 
 namespace ftc::bench {
+
+/// Process-wide peak resident set size in MiB (0.0 where unsupported).
+/// Monotonic: once a large working set has been touched, later calls keep
+/// reporting it — order measurements smallest-first when per-phase peaks
+/// matter.
+inline double peak_rss_mb() {
+#if defined(__APPLE__)
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#elif defined(__unix__)
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kilobytes
+#else
+  return 0.0;
+#endif
+}
 
 /// Monotonic stopwatch for wall-clock measurement.
 class WallClock {
@@ -112,25 +135,35 @@ class MetricColumns {
 /// Emits the table to stdout and, when the writer is open, mirrors every
 /// data row into the CSV (the caller writes rows into both).
 ///
-/// Every table automatically gains a trailing `wall_s` column: the
-/// wall-clock seconds (steady_clock) spent since the previous row was
-/// emitted, i.e. the cost of producing this row's measurements. Existing
-/// experiment binaries get the timing column without any changes.
+/// Every table automatically gains three trailing resource columns:
+///   * `wall_s`  — wall-clock seconds (steady_clock) since the previous row
+///     was emitted, i.e. the cost of producing this row's measurements;
+///   * `rss_mb`  — process peak resident set size in MiB at row emission
+///     (monotonic across rows; see peak_rss_mb);
+///   * `allocs`  — operator new calls since the previous row (global
+///     counters from alloc_hooks.cpp, which every bench links).
+/// Existing experiment binaries get all three without any changes.
 struct Output {
   util::Table table;
   util::CsvWriter csv;
   WallClock row_clock;
+  std::uint64_t last_allocs = alloc_counts().count;
 
   Output(std::vector<std::string> header, const util::Args& args)
-      : table(with_wall_column(header)) {
+      : table(with_auto_columns(header)) {
     const std::string path = args.get_string("csv", "");
     if (!path.empty()) {
-      csv = util::CsvWriter(path, with_wall_column(header));
+      csv = util::CsvWriter(path, with_auto_columns(header));
     }
   }
 
   void row(std::vector<std::string> cells) {
     cells.push_back(util::fmt(row_clock.restart()));
+    cells.push_back(util::fmt(peak_rss_mb(), 1));
+    const std::uint64_t allocs_now = alloc_counts().count;
+    cells.push_back(
+        util::fmt(static_cast<long long>(allocs_now - last_allocs)));
+    last_allocs = allocs_now;
     csv.write_row(cells);
     table.add_row(std::move(cells));
   }
@@ -143,9 +176,11 @@ struct Output {
   }
 
  private:
-  static std::vector<std::string> with_wall_column(
+  static std::vector<std::string> with_auto_columns(
       std::vector<std::string> header) {
     header.push_back("wall_s");
+    header.push_back("rss_mb");
+    header.push_back("allocs");
     return header;
   }
 };

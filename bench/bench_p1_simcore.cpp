@@ -163,6 +163,9 @@ EngineResult run_sync(const geom::UnitDiskGraph& udg, std::int64_t rounds,
                       int threads) {
   sim::SyncNetwork net(udg, kNetSeed);
   net.set_threads(threads);
+  // This bench prices the pool itself; never let the small-n fallback
+  // silently swap in the sequential path (bench_simcore_mt measures that).
+  net.set_parallel_grain(0);
   net.set_all_processes(
       [&](NodeId) { return std::make_unique<FloodProcess>(rounds); });
   EngineResult result;
@@ -192,6 +195,7 @@ std::string json_row(NodeId n, const std::string& engine, int threads,
   row += ", \"rounds_per_sec\": " + util::fmt(r.rounds / r.seconds, 3);
   row += ", \"messages_per_sec\": " + util::fmt(r.messages / r.seconds, 1);
   row += ", \"words_per_sec\": " + util::fmt(r.words / r.seconds, 1);
+  row += ", \"peak_rss_mb\": " + util::fmt(bench::peak_rss_mb(), 1);
   row += ", \"speedup_vs_legacy\": " + util::fmt(speedup_vs_legacy, 3);
   row += "}";
   return row;

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff a fresh bench JSON against the committed one.
+
+Usage:
+    bench_check.py COMMITTED.json FRESH.json [--tolerance=0.05]
+
+Both files must be outputs of the same bench binary (BENCH_*.json shape:
+a top-level object with a "results" array of flat row objects). Rows are
+matched by their identity keys — every key that is not a measurement
+(throughputs, timings, derived ratios). For each matched row, every
+`*_per_sec` metric present in both is compared; a fresh value more than
+`tolerance` below the committed one is a regression and the script exits
+nonzero. Rows present on only one side produce warnings, not failures, so
+grid changes don't mask real regressions on the surviving rows.
+
+Machine context: if both files record `hardware_threads` and they differ,
+the comparison is apples-to-oranges; a warning is printed (the gate still
+runs — a slower machine fails loudly rather than silently passing).
+"""
+
+import json
+import sys
+
+# Keys that are measurements or derived from them — never identity.
+MEASUREMENT_KEYS = frozenset({
+    "seconds", "rounds", "messages", "words",
+    "peak_rss_mb", "allocs_per_round", "wall_s",
+    "speedup_vs_legacy", "speedup_vs_1t", "efficiency",
+})
+
+
+def identity(row):
+    return tuple(sorted((k, v) for k, v in row.items()
+                        if not k.endswith("_per_sec")
+                        and k not in MEASUREMENT_KEYS))
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_check: cannot read {path}: {e}")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        sys.exit(f"bench_check: {path} has no 'results' rows")
+    return doc, {identity(r): r for r in rows}
+
+
+def fmt_id(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main(argv):
+    tolerance = 0.05
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__.strip().splitlines()[2].strip())
+    committed_doc, committed = load_rows(paths[0])
+    fresh_doc, fresh = load_rows(paths[1])
+
+    hw_old = committed_doc.get("hardware_threads")
+    hw_new = fresh_doc.get("hardware_threads")
+    if hw_old is not None and hw_new is not None and hw_old != hw_new:
+        print(f"bench_check: WARNING hardware_threads differ "
+              f"(committed {hw_old}, fresh {hw_new}) — "
+              f"throughputs may not be comparable")
+
+    regressions = []
+    compared = 0
+    for key, new_row in sorted(fresh.items()):
+        old_row = committed.get(key)
+        if old_row is None:
+            print(f"bench_check: WARNING fresh row not in committed baseline: "
+                  f"{fmt_id(key)}")
+            continue
+        for metric in sorted(new_row):
+            if not metric.endswith("_per_sec") or metric not in old_row:
+                continue
+            old, new = float(old_row[metric]), float(new_row[metric])
+            if old <= 0:
+                continue
+            compared += 1
+            ratio = new / old
+            marker = ""
+            if ratio < 1.0 - tolerance:
+                regressions.append((key, metric, old, new, ratio))
+                marker = "  <-- REGRESSION"
+            print(f"  {fmt_id(key)} {metric}: "
+                  f"{old:.0f} -> {new:.0f} ({ratio:.1%} of baseline)"
+                  f"{marker}")
+    for key in sorted(committed):
+        if key not in fresh:
+            print(f"bench_check: WARNING committed row missing from fresh run: "
+                  f"{fmt_id(key)}")
+
+    if compared == 0:
+        sys.exit("bench_check: no comparable *_per_sec metrics found")
+    if regressions:
+        print(f"\nbench_check: FAIL — {len(regressions)} metric(s) regressed "
+              f"more than {tolerance:.0%}:")
+        for key, metric, old, new, ratio in regressions:
+            print(f"  {fmt_id(key)} {metric}: {old:.0f} -> {new:.0f} "
+                  f"({(1.0 - ratio):.1%} slower)")
+        return 1
+    print(f"\nbench_check: OK — {compared} metrics within {tolerance:.0%} "
+          f"of {paths[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,6 +13,12 @@
 #   scripts/check.sh loss-fuzz [build-dir]  same, but every case gets a lossy
 #                                           channel (--lossy): exercises the
 #                                           link-impairment + transport paths
+#   scripts/check.sh perf [build-dir]       opt-in perf gate: Release-build
+#                                           the core benches, re-run them on
+#                                           the committed grids, and fail on
+#                                           a >5% throughput regression vs
+#                                           the checked-in BENCH_*.json
+#                                           (default build dir: build)
 #   scripts/check.sh selftest               verify that a failing ctest
 #                                           propagates to this script's exit
 #                                           code (regression guard, no build)
@@ -91,6 +97,28 @@ if [ "${1:-}" = "loss-fuzz" ]; then
     -DFTC_SANITIZE=address
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target ftc-fuzz
   "$BUILD_DIR/tools/ftc-fuzz" run --cases=2000 --seed=1 --progress=500 --lossy
+  exit 0
+fi
+
+if [ "${1:-}" = "perf" ]; then
+  # Perf-regression gate (opt-in: it re-runs real benchmarks, minutes not
+  # seconds, and is only meaningful on a quiet machine). Fresh JSON goes
+  # under the build tree; the committed BENCH_*.json stay untouched.
+  BUILD_DIR="${2:-build}"
+  configure -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target bench_p1_simcore bench_simcore_mt
+  "$BUILD_DIR/bench/bench_p1_simcore" --json="$BUILD_DIR/BENCH_simcore.fresh.json"
+  "$BUILD_DIR/bench/bench_simcore_mt" --json="$BUILD_DIR/BENCH_simcore_mt.fresh.json"
+  status=0
+  python3 scripts/bench_check.py BENCH_simcore.json \
+    "$BUILD_DIR/BENCH_simcore.fresh.json" || status=$?
+  python3 scripts/bench_check.py BENCH_simcore_mt.json \
+    "$BUILD_DIR/BENCH_simcore_mt.fresh.json" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "check.sh: perf gate failed — throughput regressed >5%" >&2
+    exit 1
+  fi
   exit 0
 fi
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+#include <stdexcept>
 
 namespace ftc::graph {
 
@@ -23,6 +25,13 @@ Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
   normalized.erase(std::unique(normalized.begin(), normalized.end()),
                    normalized.end());
 
+  // Offsets are uint32: 2m (the directed arc count) must fit. Unconditional
+  // — a graph past this bound would silently corrupt the CSR otherwise.
+  if (normalized.size() * 2 >
+      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+    throw std::length_error("Graph::from_edges: 2m exceeds uint32 offsets");
+  }
+
   Graph g;
   g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
   for (const Edge& e : normalized) {
@@ -33,7 +42,7 @@ Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
     g.offsets_[i] += g.offsets_[i - 1];
   }
   g.adjacency_.resize(normalized.size() * 2);
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
   for (const Edge& e : normalized) {
     g.adjacency_[cursor[static_cast<std::size_t>(e.u)]++] = e.v;
     g.adjacency_[cursor[static_cast<std::size_t>(e.v)]++] = e.u;

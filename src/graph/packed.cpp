@@ -1,0 +1,57 @@
+#include "graph/packed.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ftc::graph {
+
+namespace {
+
+/// LEB128 encode of a non-negative value into `out`.
+void encode_varint(std::uint32_t value, std::vector<std::uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+}  // namespace
+
+PackedAdjacency::PackedAdjacency(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.n());
+  degrees_.reserve(n);
+  offsets_.reserve(n + 1);
+  offsets_.push_back(0);
+  // Worst case is ~5 bytes per arc; on sorted spatial topologies the gap
+  // encoding lands near 1–2. Reserve the raw arc count as a sane middle.
+  bytes_.reserve(g.m() * 2);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    degrees_.push_back(static_cast<std::uint32_t>(nbrs.size()));
+    NodeId prev = 0;
+    bool first = true;
+    for (NodeId w : nbrs) {
+      // First neighbor absolute, then strictly positive gaps (lists are
+      // sorted and duplicate-free by the Graph invariant).
+      encode_varint(static_cast<std::uint32_t>(first ? w : w - prev), bytes_);
+      prev = w;
+      first = false;
+    }
+    if (bytes_.size() >
+        static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+      throw std::length_error(
+          "PackedAdjacency: packed stream exceeds uint32 offsets");
+    }
+    offsets_.push_back(static_cast<std::uint32_t>(bytes_.size()));
+  }
+  bytes_.shrink_to_fit();
+}
+
+void PackedAdjacency::decode(NodeId v, std::vector<NodeId>& out) const {
+  out.clear();
+  out.reserve(static_cast<std::size_t>(degree(v)));
+  for_each_neighbor(v, [&](NodeId w) { out.push_back(w); });
+}
+
+}  // namespace ftc::graph

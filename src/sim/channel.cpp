@@ -102,8 +102,9 @@ double Channel::directed_loss(NodeId from, NodeId to) const noexcept {
   return std::min(p, 0.999999);
 }
 
-bool Channel::in_burst(NodeId from, NodeId to, std::int64_t round) {
-  BurstState& st = burst_[pack_link(from, to)];
+bool Channel::in_burst(NodeId from, NodeId to, std::int64_t round,
+                       BurstMap& burst) const {
+  BurstState& st = burst[pack_link(from, to)];
   if (st.round < epoch_ - 1) {
     st.round = epoch_ - 1;  // chain starts in the good state at the epoch
     st.bursting = false;
@@ -117,16 +118,18 @@ bool Channel::in_burst(NodeId from, NodeId to, std::int64_t round) {
   return st.bursting;
 }
 
-Channel::Fate Channel::decide(NodeId from, NodeId to, std::int64_t round) {
+Channel::Fate Channel::decide_impl(NodeId from, NodeId to, std::int64_t round,
+                                   BurstMap& burst,
+                                   Counters& counters) const {
   Fate fate;
   double p_drop = directed_loss(from, to);
   if (options_.burst_loss > 0.0 && options_.p_enter_burst > 0.0 &&
-      in_burst(from, to, round)) {
+      in_burst(from, to, round, burst)) {
     p_drop = std::max(p_drop, options_.burst_loss);
   }
   if (p_drop > 0.0 && u01(from, to, round, kSaltLoss) < p_drop) {
     fate.dropped = true;
-    ++counters_.dropped;
+    ++counters.dropped;
     return fate;
   }
   if (options_.reorder > 0.0 &&
@@ -134,7 +137,7 @@ Channel::Fate Channel::decide(NodeId from, NodeId to, std::int64_t round) {
     const double u = u01(from, to, round, kSaltDelay);
     fate.delay = 1 + static_cast<int>(u * options_.max_reorder_delay);
     fate.delay = std::min(fate.delay, options_.max_reorder_delay);
-    ++counters_.reordered;
+    ++counters.reordered;
   }
   if (options_.duplicate > 0.0 &&
       u01(from, to, round, kSaltDup) < options_.duplicate) {
@@ -146,9 +149,25 @@ Channel::Fate Channel::decide(NodeId from, NodeId to, std::int64_t round) {
         fate.delay + 1 + static_cast<int>(u * options_.max_reorder_delay);
     fate.dup_delay =
         std::min(fate.dup_delay, fate.delay + options_.max_reorder_delay);
-    ++counters_.duplicated;
+    ++counters.duplicated;
   }
   return fate;
+}
+
+Channel::Fate Channel::decide(NodeId from, NodeId to, std::int64_t round) {
+  return decide_impl(from, to, round, burst_, counters_);
+}
+
+Channel::Fate Channel::decide(NodeId from, NodeId to, std::int64_t round,
+                              ShardState& state) const {
+  return decide_impl(from, to, round, state.burst, state.counters);
+}
+
+void Channel::absorb(ShardState& state) noexcept {
+  counters_.dropped += state.counters.dropped;
+  counters_.duplicated += state.counters.duplicated;
+  counters_.reordered += state.counters.reordered;
+  state.counters = Counters{};
 }
 
 }  // namespace ftc::sim

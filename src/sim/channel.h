@@ -101,12 +101,41 @@ class Channel {
     friend bool operator==(const Counters&, const Counters&) = default;
   };
 
+  struct BurstState {
+    std::int64_t round = -1;  ///< chain evaluated through this round
+    bool bursting = false;
+  };
+  using BurstMap = std::unordered_map<std::uint64_t, BurstState>;  // by link
+
+  /// Private decision state for one parallel delivery shard. Because every
+  /// verdict is a pure function of (options, link, round), a per-shard burst
+  /// cache is only a private memoization of the same function the global
+  /// cache evaluates — shards may decide concurrently without sharing state,
+  /// and the results are identical to any other shard assignment. The
+  /// counters accumulate shard-locally and are folded into the channel's
+  /// global counters (an order-independent sum) via absorb() at the round
+  /// barrier.
+  struct ShardState {
+    BurstMap burst;
+    Counters counters;
+
+    /// Invalidates the memoized burst chains (required when the options
+    /// change; counters are zeroed too — callers absorb them every round,
+    /// so nothing is pending between rounds).
+    void clear() {
+      burst.clear();
+      counters = Counters{};
+    }
+  };
+
   Channel() = default;
   explicit Channel(const ChannelOptions& options) { set_options(options, 0); }
 
   /// Replaces the options (validating them). `epoch_round` restarts every
   /// burst chain in the good state as of that round, which keeps mid-run
   /// reconfiguration (schedule_channel) deterministic. Counters persist.
+  /// Callers holding ShardStates must clear() them — their burst caches
+  /// memoize the old options.
   void set_options(const ChannelOptions& options, std::int64_t epoch_round);
 
   [[nodiscard]] const ChannelOptions& options() const noexcept {
@@ -116,9 +145,18 @@ class Channel {
 
   /// Decides the fate of the message sent on from→to in `round`. Pure in
   /// (options, from, to, round) — see the determinism contract above.
-  /// Updates the counters.
+  /// Updates the global counters.
   [[nodiscard]] Fate decide(graph::NodeId from, graph::NodeId to,
                             std::int64_t round);
+
+  /// Same verdict, computed against a caller-owned ShardState: safe to call
+  /// concurrently from distinct shards. Counts into state.counters.
+  [[nodiscard]] Fate decide(graph::NodeId from, graph::NodeId to,
+                            std::int64_t round, ShardState& state) const;
+
+  /// Folds a shard's counters into the global counters and zeroes them.
+  /// The shard's burst cache is kept (it stays a valid memoization).
+  void absorb(ShardState& state) noexcept;
 
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
@@ -132,18 +170,19 @@ class Channel {
   [[nodiscard]] double directed_loss(graph::NodeId from,
                                      graph::NodeId to) const noexcept;
 
-  /// Gilbert–Elliott state of from→to at `round`, evaluated incrementally.
+  /// Gilbert–Elliott state of from→to at `round`, evaluated incrementally
+  /// in the supplied cache.
   [[nodiscard]] bool in_burst(graph::NodeId from, graph::NodeId to,
-                              std::int64_t round);
+                              std::int64_t round, BurstMap& burst) const;
 
-  struct BurstState {
-    std::int64_t round = -1;  ///< chain evaluated through this round
-    bool bursting = false;
-  };
+  /// Shared implementation of both decide overloads.
+  [[nodiscard]] Fate decide_impl(graph::NodeId from, graph::NodeId to,
+                                 std::int64_t round, BurstMap& burst,
+                                 Counters& counters) const;
 
   ChannelOptions options_;
   std::int64_t epoch_ = 0;  ///< burst chains start good at this round
-  std::unordered_map<std::uint64_t, BurstState> burst_;  // keyed by link
+  BurstMap burst_;
   Counters counters_;
 };
 

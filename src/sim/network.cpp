@@ -10,7 +10,7 @@ using graph::NodeId;
 
 namespace {
 
-// OutEntry stores (offset, len) into the shard arena as uint32. Enforced
+// XferEntry stores (offset, len) into the shard arena as uint32. Enforced
 // unconditionally (not via assert): in a release build an arena past 2^32
 // words would otherwise silently truncate offsets and corrupt payloads.
 void check_arena_capacity(std::size_t arena_size, std::size_t words) {
@@ -18,6 +18,15 @@ void check_arena_capacity(std::size_t arena_size, std::size_t words) {
       static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
     throw std::length_error(
         "SyncNetwork: per-shard round arena exceeds uint32 offset range");
+  }
+}
+
+// Inbox regions are addressed by uint32 offsets into the flat store.
+void check_inbox_capacity(std::uint64_t total_messages) {
+  if (total_messages >=
+      static_cast<std::uint64_t>(std::numeric_limits<std::uint32_t>::max())) {
+    throw std::length_error(
+        "SyncNetwork: per-round message count exceeds uint32 inbox range");
   }
 }
 
@@ -70,17 +79,25 @@ SyncNetwork::SyncNetwork(const graph::Graph& g, std::uint64_t seed)
     : graph_(&g) {
   const auto n = static_cast<std::size_t>(g.n());
   processes_.resize(n);
-  inboxes_.resize(n);
-  out_cur_.resize(n);
-  out_prev_.resize(n);
-  crashed_.assign(n, false);
+  node_flags_.assign(n, 0);
+  inbox_off_.assign(n, 0);
+  inbox_len_.assign(n, 0);
+  inbox_count_.assign(n, 0);
+  inbox_cursor_.assign(n, 0);
   live_count_ = g.n();
   arena_cur_.resize(1);
   arena_prev_.resize(1);
-  shard_senders_cur_.resize(1);
-  shard_senders_prev_.resize(1);
+  xfer_cur_.resize(1);
+  xfer_prev_.resize(1);
   shard_stats_.resize(1);
+  shard_inbox_total_.resize(1);
+  shard_inbox_base_.resize(1);
+  fate_scratch_.resize(1);
+  channel_shards_.resize(1);
+  delayed_pending_.resize(1);
+  delayed_live_.resize(1);
   shard_block_ = std::max<std::size_t>(n, 1);
+  xfer_block_prev_ = shard_block_;
   rngs_.reserve(n);
   const util::Rng root(seed);
   for (std::size_t v = 0; v < n; ++v) {
@@ -106,12 +123,35 @@ void SyncNetwork::set_threads(int threads) {
   const auto n = static_cast<std::size_t>(graph_->n());
   const auto shards = static_cast<std::size_t>(threads_);
   shard_block_ = std::max<std::size_t>(1, (n + shards - 1) / shards);
-  // Only the (empty between rounds) current generation is resized; the
-  // previous generation still backs live inbox views and keeps its layout
-  // until the next round-end swap recycles it.
+  // Only the (empty between rounds) current generation is reshaped; the
+  // previous generation still backs live inbox views and crash lookups and
+  // keeps its recorded shape until the next round-end swap recycles it.
   arena_cur_.resize(shards);
-  shard_senders_cur_.resize(shards);
+  xfer_cur_.resize(shards * shards);
   shard_stats_.resize(shards);
+  shard_inbox_total_.resize(shards);
+  shard_inbox_base_.resize(shards);
+  fate_scratch_.resize(shards);
+  // Shard channel caches are memoizations of a pure per-link function, so
+  // dropping some (shrink) or starting fresh ones (grow) changes nothing.
+  channel_shards_.resize(shards);
+  // Delayed messages are bucketed by destination shard: re-bucket under the
+  // new sharding. Iterating old buckets in order keeps each receiver's
+  // bucket order intact (all of a receiver's copies live in one bucket),
+  // which is the only order delivery depends on. The payload word vectors
+  // are heap buffers, so moving the structs cannot invalidate the inbox
+  // views delayed_live_ still backs.
+  auto rebucket = [&](std::vector<std::vector<DelayedMessage>>& buckets) {
+    std::vector<std::vector<DelayedMessage>> fresh(shards);
+    for (auto& bucket : buckets) {
+      for (DelayedMessage& m : bucket) {
+        fresh[shard_of(m.to)].push_back(std::move(m));
+      }
+    }
+    buckets = std::move(fresh);
+  };
+  rebucket(delayed_pending_);
+  rebucket(delayed_live_);
   sync_observability_shards();
 }
 
@@ -139,24 +179,27 @@ void SyncNetwork::set_process(graph::NodeId v,
   assert(v >= 0 && v < graph_->n());
   if (counts_as_running(v)) --running_count_;
   processes_[static_cast<std::size_t>(v)] = std::move(process);
+  refresh_node_flags(v);
   if (counts_as_running(v)) ++running_count_;
 }
 
 void SyncNetwork::backend_send(graph::NodeId from, graph::NodeId to,
                                std::span<const Word> words) {
   const std::uint32_t s = shard_of(from);
-  auto& box = out_cur_[static_cast<std::size_t>(from)];
+  const std::uint32_t d = shard_of(to);
+  const auto shards = static_cast<std::uint32_t>(threads_);
+  auto& list = xfer_cur_[static_cast<std::size_t>(s) * shards + d];
 #ifndef NDEBUG
-  for (const OutEntry& e : box) {
-    assert(e.to != to && "send: at most one message per neighbor per round");
+  // `from`'s entries are the tail run of every list it touched this round.
+  for (auto it = list.rbegin(); it != list.rend() && it->from == from; ++it) {
+    assert(it->to != to && "send: at most one message per neighbor per round");
   }
 #endif
   auto& arena = arena_cur_[s];
   check_arena_capacity(arena.size(), words.size());
-  if (box.empty()) shard_senders_cur_[s].push_back(from);
   const auto offset = static_cast<std::uint32_t>(arena.size());
   arena.insert(arena.end(), words.begin(), words.end());
-  box.push_back({to, s, offset, static_cast<std::uint32_t>(words.size())});
+  list.push_back({from, to, offset, static_cast<std::uint32_t>(words.size())});
   ShardStats& st = shard_stats_[s];
   st.messages += 1;
   st.words += static_cast<std::int64_t>(words.size());
@@ -169,24 +212,23 @@ void SyncNetwork::backend_broadcast(graph::NodeId from,
   const auto nbrs = graph_->neighbors(from);
   if (nbrs.empty()) return;
   const std::uint32_t s = shard_of(from);
-  auto& box = out_cur_[static_cast<std::size_t>(from)];
-#ifndef NDEBUG
-  for (const OutEntry& e : box) {
-    for (NodeId w : nbrs) {
-      assert(e.to != w &&
-             "broadcast: at most one message per neighbor per round");
-    }
-  }
-#endif
+  const auto shards = static_cast<std::uint32_t>(threads_);
   auto& arena = arena_cur_[s];
   check_arena_capacity(arena.size(), words.size());
-  if (box.empty()) shard_senders_cur_[s].push_back(from);
   const auto offset = static_cast<std::uint32_t>(arena.size());
   const auto len = static_cast<std::uint32_t>(words.size());
   // The payload is written once; every receiver's view aliases it.
   arena.insert(arena.end(), words.begin(), words.end());
   for (NodeId w : nbrs) {
-    box.push_back({w, s, offset, len});
+    auto& list = xfer_cur_[static_cast<std::size_t>(s) * shards + shard_of(w)];
+#ifndef NDEBUG
+    for (auto it = list.rbegin(); it != list.rend() && it->from == from;
+         ++it) {
+      assert(it->to != w &&
+             "broadcast: at most one message per neighbor per round");
+    }
+#endif
+    list.push_back({from, w, offset, len});
   }
   ShardStats& st = shard_stats_[s];
   const auto deg = static_cast<std::int64_t>(nbrs.size());
@@ -218,6 +260,7 @@ void SyncNetwork::apply_scheduled_events() {
        it != scheduled_channels_.end();) {
     if (it->first <= round_) {
       channel_.set_options(it->second, round_);
+      reset_channel_shard_state();
       if (plane_ != nullptr) {
         obs::TraceEvent e;
         e.round = round_;
@@ -234,10 +277,48 @@ void SyncNetwork::apply_scheduled_events() {
   }
 }
 
+void SyncNetwork::erase_inbox_entries(graph::NodeId sender,
+                                      graph::NodeId to) noexcept {
+  const auto idx = static_cast<std::size_t>(to);
+  Message* const begin = inbox_store_.data() + inbox_off_[idx];
+  Message* const end = begin + inbox_len_[idx];
+  Message* it = std::lower_bound(
+      begin, end, sender,
+      [](const Message& m, graph::NodeId id) { return m.from < id; });
+  Message* last = it;
+  while (last != end && last->from == sender) ++last;
+  if (it != last) {
+    std::move(last, end, it);
+    inbox_len_[idx] -= static_cast<std::uint32_t>(last - it);
+  }
+}
+
+void SyncNetwork::purge_current_sends(graph::NodeId v) {
+  // The current generation only holds entries while a round is executing;
+  // between rounds (where crash/recover run) every list is empty, so this
+  // is a cheap defensive sweep of v's sender-shard row.
+  const auto shards = static_cast<std::size_t>(threads_);
+  const std::size_t s = shard_of(v);
+  for (std::size_t d = 0; d < shards; ++d) {
+    auto& list = xfer_cur_[s * shards + d];
+    if (list.empty()) continue;
+    auto it = std::lower_bound(
+        list.begin(), list.end(), v,
+        [](const XferEntry& e, graph::NodeId id) { return e.from < id; });
+    auto last = it;
+    while (last != list.end() && last->from == v) ++last;
+    list.erase(it, last);
+  }
+}
+
+void SyncNetwork::reset_channel_shard_state() {
+  for (Channel::ShardState& st : channel_shards_) st.clear();
+}
+
 void SyncNetwork::crash(graph::NodeId v) {
   assert(v >= 0 && v < graph_->n());
   const auto idx = static_cast<std::size_t>(v);
-  if (crashed_[idx]) return;
+  if (crashed(v)) return;
   if (plane_ != nullptr) {
     plane_->metrics().add(plane_->builtin().crashes, 1);
     obs::TraceEvent e;
@@ -249,36 +330,40 @@ void SyncNetwork::crash(graph::NodeId v) {
     plane_->trace().emit(e);
   }
   if (counts_as_running(v)) --running_count_;
-  crashed_[idx] = true;
+  node_flags_[idx] |= kNodeCrashed;
   --live_count_;
-  inboxes_[idx].clear();
-  // Drop this node's in-flight traffic without scanning every queue: what
-  // it queued this round is its own outbox, and what was already delivered
-  // is indexed by out_prev_[v] (inboxes are sorted by sender, so each
-  // removal is a binary search).
-  out_cur_[idx].clear();
-  auto erase_from_inbox = [this](graph::NodeId sender, graph::NodeId to) {
-    auto& box = inboxes_[static_cast<std::size_t>(to)];
+  inbox_len_[idx] = 0;
+  purge_current_sends(v);
+  // Drop v's delivered-generation traffic without scanning every inbox: its
+  // messages are the from == v runs of its sender-shard row in xfer_prev_
+  // (one binary search per destination shard), and each receiver's inbox
+  // region is sender-sorted (one binary search per removal). xfer_prev_ was
+  // built under the sharding recorded at the last generation swap, which
+  // may differ from the current one.
+  const auto shards_prev = static_cast<std::size_t>(xfer_shards_prev_);
+  const std::size_t s_prev = static_cast<std::size_t>(v) / xfer_block_prev_;
+  for (std::size_t d = 0; d < shards_prev; ++d) {
+    const auto& list = xfer_prev_[s_prev * shards_prev + d];
     auto it = std::lower_bound(
-        box.begin(), box.end(), sender,
-        [](const Message& m, graph::NodeId id) { return m.from < id; });
-    auto last = it;
-    while (last != box.end() && last->from == sender) ++last;
-    box.erase(it, last);
-  };
-  for (const OutEntry& e : out_prev_[idx]) {
-    erase_from_inbox(v, e.to);
+        list.begin(), list.end(), v,
+        [](const XferEntry& e, graph::NodeId id) { return e.from < id; });
+    for (; it != list.end() && it->from == v; ++it) {
+      erase_inbox_entries(v, it->to);
+    }
   }
-  out_prev_[idx].clear();
-  // Channel-delayed traffic is not indexed by out_prev_: drop pending
+  // Channel-delayed traffic is not indexed by xfer_prev_: drop pending
   // copies touching v, and purge delivered delayed copies from v out of
   // receivers' inboxes (the erase is idempotent with the pass above).
-  std::erase_if(delayed_pending_, [v](const DelayedMessage& m) {
-    return m.from == v || m.to == v;
-  });
-  for (const DelayedMessage& m : delayed_live_) {
-    if (m.from == v && !crashed_[static_cast<std::size_t>(m.to)]) {
-      erase_from_inbox(v, m.to);
+  for (auto& bucket : delayed_pending_) {
+    std::erase_if(bucket, [v](const DelayedMessage& m) {
+      return m.from == v || m.to == v;
+    });
+  }
+  for (const auto& bucket : delayed_live_) {
+    for (const DelayedMessage& m : bucket) {
+      if (m.from == v && !crashed(m.to)) {
+        erase_inbox_entries(v, m.to);
+      }
     }
   }
   check_counters();
@@ -288,8 +373,8 @@ void SyncNetwork::recover(graph::NodeId v, std::unique_ptr<Process> process) {
   assert(v >= 0 && v < graph_->n());
   const auto idx = static_cast<std::size_t>(v);
   if (counts_as_running(v)) --running_count_;
-  if (crashed_[idx]) {
-    crashed_[idx] = false;
+  if (crashed(v)) {
+    node_flags_[idx] &= static_cast<std::uint8_t>(~kNodeCrashed);
     ++live_count_;
     if (plane_ != nullptr) {  // churn rejoin (not a live process swap)
       plane_->metrics().add(plane_->builtin().recoveries, 1);
@@ -302,9 +387,10 @@ void SyncNetwork::recover(graph::NodeId v, std::unique_ptr<Process> process) {
       plane_->trace().emit(e);
     }
   }
-  inboxes_[idx].clear();
-  out_cur_[idx].clear();
+  inbox_len_[idx] = 0;
+  purge_current_sends(v);
   processes_[idx] = std::move(process);
+  refresh_node_flags(v);
   if (counts_as_running(v)) ++running_count_;
   check_counters();
 }
@@ -319,7 +405,16 @@ void SyncNetwork::check_counters() const noexcept {
   graph::NodeId live = 0;
   std::int64_t running = 0;
   for (NodeId v = 0; v < graph_->n(); ++v) {
-    if (!crashed_[static_cast<std::size_t>(v)]) ++live;
+    const auto idx = static_cast<std::size_t>(v);
+    const Process* p = processes_[idx].get();
+    std::uint8_t want = node_flags_[idx] & kNodeCrashed;
+    if (p != nullptr) {
+      want |= kNodeHasProcess;
+      if (p->halted()) want |= kNodeHalted;
+    }
+    assert(node_flags_[idx] == want &&
+           "node_flags_ out of sync with process state");
+    if (!crashed(v)) ++live;
     if (counts_as_running(v)) ++running;
   }
   assert(live == live_count_ && "live_count_ out of sync with crash flags");
@@ -334,10 +429,11 @@ void SyncNetwork::execute_nodes(graph::NodeId begin, graph::NodeId end,
   obs::Recorder* const rec =
       recorders_.empty() ? nullptr
                          : &recorders_[static_cast<std::size_t>(shard)];
+  const Message* const store = inbox_store_.data();
   for (NodeId v = begin; v < end; ++v) {
     const auto idx = static_cast<std::size_t>(v);
-    Process* p = processes_[idx].get();
-    if (p == nullptr || p->halted() || crashed_[idx]) continue;
+    if (node_flags_[idx] != kNodeHasProcess) continue;
+    Process* const p = processes_[idx].get();
 
     Context ctx;
     ctx.net_ = this;
@@ -345,79 +441,161 @@ void SyncNetwork::execute_nodes(graph::NodeId begin, graph::NodeId end,
     ctx.round_ = round_;
     ctx.rng_ = &rngs_[idx];
     ctx.obs_ = rec;
-    ctx.inbox_ = {inboxes_[idx].data(), inboxes_[idx].size()};
+    ctx.inbox_ = {store + inbox_off_[idx], inbox_len_[idx]};
     p->on_round(ctx);
-    if (p->halted()) ++stats.newly_halted;
+    if (p->halted()) {
+      node_flags_[idx] |= kNodeHalted;
+      ++stats.newly_halted;
+    }
   }
 }
 
-void SyncNetwork::deliver_round() {
-  // Recycle last round's inboxes (only nodes that actually received), and
-  // the delayed payloads whose views they held.
-  for (NodeId v : receivers_) {
-    inboxes_[static_cast<std::size_t>(v)].clear();
-  }
-  receivers_.clear();
-  delayed_live_.clear();
+void SyncNetwork::deliver_round(int shards) {
+  const auto s_count = static_cast<std::size_t>(shards);
+  // Delayed payloads delivered last round were consumed by this round's
+  // execute phase; recycle them before staging new live copies.
+  for (auto& bucket : delayed_live_) bucket.clear();
 
-  // Senders ascending (shards cover ascending ranges, each list ascending),
-  // so every inbox is built already sorted by sender. Channel verdicts are
-  // stateless hashes of (link, round), so this order — and the thread
-  // count — cannot influence them.
   const bool impaired = channel_.impaired();
-  for (const auto& senders : shard_senders_cur_) {
-    for (NodeId from : senders) {
-      for (const OutEntry& e : out_cur_[static_cast<std::size_t>(from)]) {
-        const auto to = static_cast<std::size_t>(e.to);
-        if (crashed_[to]) continue;  // crashed receivers drop silently
-        const Word* payload = arena_cur_[e.shard].data() + e.offset;
+  const std::int64_t due_round = round_ + 1;
+
+  // Count pass (parallel over destination shards): per-receiver incoming
+  // counts, channel verdicts (recorded as fate bytes so the place pass
+  // replays instead of re-deciding — decide() counts side effects), and
+  // delayed/duplicate copy enqueue into the shard's own pending bucket.
+  auto count_shard = [&](int d) {
+    const auto du = static_cast<std::size_t>(d);
+    const auto [lo, hi] = shard_range(d);
+    std::fill(inbox_count_.begin() + lo, inbox_count_.begin() + hi, 0u);
+    std::uint64_t total = 0;
+    auto& fates = fate_scratch_[du];
+    fates.clear();
+    Channel::ShardState& cs = channel_shards_[du];
+    auto& pending = delayed_pending_[du];
+    for (std::size_t s = 0; s < s_count; ++s) {
+      const Word* const arena = arena_cur_[s].data();
+      for (const XferEntry& e : xfer_cur_[s * s_count + du]) {
+        if (crashed(e.to)) {  // crashed receivers drop silently, no verdict
+          if (impaired) fates.push_back(0);
+          continue;
+        }
         if (impaired) {
-          const Channel::Fate fate = channel_.decide(from, e.to, round_);
-          if (fate.dropped) continue;
-          if (fate.duplicate) {
-            delayed_pending_.push_back(
-                {round_ + 1 + fate.dup_delay, from, e.to,
-                 std::vector<Word>(payload, payload + e.len)});
-          }
-          if (fate.delay > 0) {
-            delayed_pending_.push_back(
-                {round_ + 1 + fate.delay, from, e.to,
-                 std::vector<Word>(payload, payload + e.len)});
+          const Channel::Fate fate = channel_.decide(e.from, e.to, round_, cs);
+          if (fate.dropped) {
+            fates.push_back(0);
             continue;
           }
+          const Word* const payload = arena + e.offset;
+          if (fate.duplicate) {
+            pending.push_back({round_ + 1 + fate.dup_delay, e.from, e.to,
+                               std::vector<Word>(payload, payload + e.len)});
+          }
+          if (fate.delay > 0) {
+            pending.push_back({round_ + 1 + fate.delay, e.from, e.to,
+                               std::vector<Word>(payload, payload + e.len)});
+            fates.push_back(0);
+            continue;
+          }
+          fates.push_back(1);
         }
-        auto& box = inboxes_[to];
-        if (box.empty()) receivers_.push_back(e.to);
-        box.push_back(Message{from, WordSpan(payload, e.len)});
+        ++inbox_count_[static_cast<std::size_t>(e.to)];
+        ++total;
       }
     }
+    // Delayed copies due now (enqueued in earlier rounds; copies staged
+    // above are due in round_ + 2 at the earliest, so they never match).
+    for (const DelayedMessage& m : pending) {
+      if (m.due == due_round && !crashed(m.to)) {
+        ++inbox_count_[static_cast<std::size_t>(m.to)];
+        ++total;
+      }
+    }
+    shard_inbox_total_[du] = total;
+  };
+  dispatch_shards(shards, count_shard);
+
+  // Prefix pass (sequential, O(shards)): region bases + store sizing. The
+  // store only ever grows — a resize would value-initialize the new tail
+  // sequentially, so the high-water mark amortizes that to zero.
+  std::uint64_t total_messages = 0;
+  for (std::size_t d = 0; d < s_count; ++d) {
+    shard_inbox_base_[d] = total_messages;
+    total_messages += shard_inbox_total_[d];
+  }
+  check_inbox_capacity(total_messages);
+  if (inbox_store_.size() < total_messages) {
+    inbox_store_.resize(static_cast<std::size_t>(total_messages));
   }
 
-  // Delayed copies due now join the fresh deliveries. Insertion keeps each
-  // inbox sorted by sender (delayed copies land after same-sender fresh
-  // ones); the enqueue order above is deterministic, so this pass is too.
-  if (!delayed_pending_.empty()) {
-    const std::int64_t due = round_ + 1;
+  // Place pass (parallel over destination shards): local offset scan, then
+  // counting-sort the fresh deliveries into each receiver's region —
+  // iterating sender shards in ascending order keeps every region sender-
+  // sorted because shards cover ascending id ranges — and finally insert
+  // due delayed copies by upper-bound (after same-sender fresh entries, in
+  // bucket order: the same per-receiver order every width produces).
+  auto place_shard = [&](int d) {
+    const auto du = static_cast<std::size_t>(d);
+    const auto [lo, hi] = shard_range(d);
+    std::uint64_t running = shard_inbox_base_[du];
+    for (NodeId v = lo; v < hi; ++v) {
+      const auto idx = static_cast<std::size_t>(v);
+      inbox_off_[idx] = static_cast<std::uint32_t>(running);
+      inbox_len_[idx] = inbox_count_[idx];
+      inbox_cursor_[idx] = 0;
+      running += inbox_count_[idx];
+    }
+    Message* const store = inbox_store_.data();
+    const auto& fates = fate_scratch_[du];
+    std::size_t fate_idx = 0;
+    for (std::size_t s = 0; s < s_count; ++s) {
+      const Word* const arena = arena_cur_[s].data();
+      for (const XferEntry& e : xfer_cur_[s * s_count + du]) {
+        const bool deliver =
+            impaired ? fates[fate_idx++] != 0 : !crashed(e.to);
+        if (!deliver) continue;
+        const auto to = static_cast<std::size_t>(e.to);
+        store[inbox_off_[to] + inbox_cursor_[to]++] =
+            Message{e.from, WordSpan(arena + e.offset, e.len)};
+      }
+    }
+    auto& pending = delayed_pending_[du];
+    auto& live = delayed_live_[du];
     std::size_t keep = 0;
-    for (std::size_t i = 0; i < delayed_pending_.size(); ++i) {
-      DelayedMessage& m = delayed_pending_[i];
-      if (m.due != due) {
-        if (keep != i) delayed_pending_[keep] = std::move(m);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      DelayedMessage& m = pending[i];
+      if (m.due != due_round) {
+        if (keep != i) pending[keep] = std::move(m);
         ++keep;
         continue;
       }
-      if (crashed_[static_cast<std::size_t>(m.to)]) continue;
-      delayed_live_.push_back(std::move(m));
-      const DelayedMessage& live = delayed_live_.back();
-      auto& box = inboxes_[static_cast<std::size_t>(live.to)];
-      if (box.empty()) receivers_.push_back(live.to);
-      const auto it = std::upper_bound(
-          box.begin(), box.end(), live.from,
+      if (crashed(m.to)) continue;  // dropped, matching the count pass
+      live.push_back(std::move(m));
+      const DelayedMessage& lm = live.back();
+      const auto to = static_cast<std::size_t>(lm.to);
+      Message* const begin = store + inbox_off_[to];
+      Message* const end = begin + inbox_cursor_[to];
+      Message* const pos = std::upper_bound(
+          begin, end, lm.from,
           [](graph::NodeId id, const Message& msg) { return id < msg.from; });
-      box.insert(it, Message{live.from,
-                             WordSpan(live.words.data(), live.words.size())});
+      std::move_backward(pos, end, end + 1);
+      *pos = Message{lm.from, WordSpan(lm.words.data(), lm.words.size())};
+      ++inbox_cursor_[to];
     }
-    delayed_pending_.resize(keep);
+    pending.resize(keep);
+#ifndef NDEBUG
+    for (NodeId v = lo; v < hi; ++v) {
+      assert(inbox_cursor_[static_cast<std::size_t>(v)] ==
+                 inbox_count_[static_cast<std::size_t>(v)] &&
+             "place pass disagrees with count pass");
+    }
+#endif
+  };
+  dispatch_shards(shards, place_shard);
+
+  // Fold the shard-local channel counters into the global ones (a sum, so
+  // the fold order cannot affect the result).
+  if (impaired) {
+    for (Channel::ShardState& st : channel_shards_) channel_.absorb(st);
   }
 }
 
@@ -443,22 +621,15 @@ bool SyncNetwork::step() {
   // of the previous round. Shards stage into disjoint state; everything
   // below the parallel region is sequential and shard-order merged, so the
   // outcome is independent of the thread count.
-  const int shards = static_cast<int>(arena_cur_.size());
+  const int shards = threads_;
   for (ShardStats& st : shard_stats_) st = ShardStats{};
-  const NodeId n = graph_->n();
   auto run_shard = [&](int s) {
-    const auto lo = static_cast<std::size_t>(s) * shard_block_;
-    const auto hi = std::min(lo + shard_block_, static_cast<std::size_t>(n));
-    execute_nodes(static_cast<NodeId>(std::min(lo, static_cast<std::size_t>(n))),
-                  static_cast<NodeId>(hi), s);
+    const auto [lo, hi] = shard_range(s);
+    execute_nodes(lo, hi, s);
   };
   {
     obs::SpanTimer span = phase_span(b != nullptr ? b->n_execute : 0);
-    if (pool_ == nullptr) {
-      for (int s = 0; s < shards; ++s) run_shard(s);
-    } else {
-      pool_->run(shards, run_shard);
-    }
+    dispatch_shards(shards, run_shard);
   }
 
   std::int64_t round_messages = 0;
@@ -490,25 +661,22 @@ bool SyncNetwork::step() {
 
   {
     obs::SpanTimer span = phase_span(b != nullptr ? b->n_deliver : 0);
-    deliver_round();
+    deliver_round(shards);
   }
 
   // Generation swap: the arena just written now backs the new inboxes; the
   // one delivered two rounds ago is recycled for the next round's sends.
+  // The delivered transfer lists keep their shape metadata so crash() can
+  // index them even after a set_threads reshard.
   std::swap(arena_cur_, arena_prev_);
-  std::swap(out_cur_, out_prev_);
-  std::swap(shard_senders_cur_, shard_senders_prev_);
-  // Clear before resizing: set_threads() may have shrunk the shard count
-  // since this generation was written, and truncating first would orphan
-  // populated outboxes in the dropped shards.
-  for (auto& senders : shard_senders_cur_) {
-    for (NodeId v : senders) out_cur_[static_cast<std::size_t>(v)].clear();
-    senders.clear();
-  }
+  std::swap(xfer_cur_, xfer_prev_);
+  xfer_shards_prev_ = shards;
+  xfer_block_prev_ = shard_block_;
+  for (auto& list : xfer_cur_) list.clear();
   for (auto& arena : arena_cur_) arena.clear();
   const auto want_shards = static_cast<std::size_t>(threads_);
   arena_cur_.resize(want_shards);
-  shard_senders_cur_.resize(want_shards);
+  xfer_cur_.resize(want_shards * want_shards);
   shard_stats_.resize(want_shards);
 
   ++round_;
@@ -558,7 +726,7 @@ void SyncNetwork::schedule_crash(graph::NodeId v, std::int64_t round) {
   // A crash in the past never happened, and a crashed node cannot crash
   // again (it may, however, rejoin and be re-crashed by a *later* schedule —
   // the liveness re-check happens in crash() at application time).
-  if (round < round_ || crashed_[static_cast<std::size_t>(v)]) return;
+  if (round < round_ || crashed(v)) return;
   scheduled_crashes_.emplace_back(round, v);
 }
 
@@ -571,6 +739,7 @@ void SyncNetwork::schedule_recovery(graph::NodeId v, std::int64_t round,
 
 void SyncNetwork::set_channel(const ChannelOptions& options) {
   channel_.set_options(options, round_);  // validates
+  reset_channel_shard_state();
 }
 
 void SyncNetwork::schedule_channel(std::int64_t round,

@@ -26,28 +26,49 @@
 // empty inbox; their neighbors are not notified (detecting the rejoin is
 // the protocols' job, e.g. via sim/heartbeat.h).
 //
-// Throughput architecture (see DESIGN.md "Simulator performance"):
+// Throughput architecture (see DESIGN.md "Simulator performance" and
+// "Million-node rounds"):
 //   * Message plane: payloads live in per-round word arenas; an inbox is a
-//     flat list of (sender, payload-view) pairs pointing into the arena of
-//     the round the message was sent in. A broadcast writes its payload
-//     once and every receiver's view aliases it — no per-neighbor copies.
-//   * Delivery iterates senders in ascending id order, so every inbox comes
-//     out sorted by sender with no per-inbox sort.
-//   * Parallel round engine: nodes are sharded over a persistent thread
-//     pool; each shard stages sends into its own arena and per-sender
-//     outboxes, and the sequential delivery/merge pass is identical for
-//     every thread count — results are bitwise equal to sequential
-//     execution for the same (graph, processes, seed).
+//     contiguous run of (sender, payload-view) pairs in one flat per-round
+//     store, pointing into the arena of the round the message was sent in.
+//     A broadcast writes its payload once and every receiver's view aliases
+//     it — no per-neighbor copies.
+//   * Two-phase shard-owned delivery: during the compute phase each sender
+//     shard stages (from, to, payload) transfer entries into per-destination
+//     -shard lists it exclusively owns. Delivery is then two parallel passes
+//     over destination shards — count (incoming messages per receiver,
+//     channel verdicts) and place (counting-sort into the flat inbox store)
+//     — separated only by an O(shards) sequential prefix sum. No phase
+//     writes another shard's state and no serial section is proportional to
+//     the message count.
+//   * Inboxes come out sorted by sender with no per-inbox sort: shards own
+//     ascending contiguous node ranges and nodes execute in ascending order
+//     within a shard, so concatenating a receiver's incoming per-shard lists
+//     in shard order enumerates its senders in ascending order.
+//   * Structure-of-arrays node state: the per-node hot fields (crash/halt/
+//     has-process flags, inbox offsets and lengths, RNG streams) live in
+//     contiguous arrays indexed by node id, shard-contiguous, so the round
+//     loop streams them instead of chasing per-node objects.
+//   * Bitwise determinism at every set_threads width: every parallel phase
+//     writes only shard-owned state in a fixed per-shard order, channel
+//     verdicts are stateless hashes of (link, round), and the tiny
+//     sequential merges between phases run in fixed shard order.
+//   * Auto-sequential fallback: when shards are smaller than the parallel
+//     grain (set_parallel_grain), rounds run the same staged code inline —
+//     bitwise-identically — instead of paying pool dispatch latency.
 //   * Liveness/termination are maintained counters (no O(n) scans), and
-//     in-flight messages are indexed by sender so crash() drops them
-//     without scanning every queue.
+//     in-flight messages are indexed by (sender shard, destination shard)
+//     with sender-ascending lists, so crash() drops them with binary
+//     searches instead of scanning every queue.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "geom/udg.h"
@@ -228,6 +249,25 @@ class SyncNetwork final : public NetworkBackend {
   /// Execution streams step() currently uses.
   [[nodiscard]] int threads() const noexcept { return threads_; }
 
+  /// Minimum nodes-per-shard for which step() dispatches to the thread
+  /// pool. Below it the same sharded phases run inline on the caller —
+  /// bitwise-identically, since the parallel phases only write shard-owned
+  /// state merged in fixed order either way — which is faster when shards
+  /// are too small to repay a pool wakeup (the small-n regression in
+  /// BENCH_simcore.json). 0 forces the pool whenever threads() > 1; tests
+  /// use that to compare both paths. Default: kDefaultParallelGrain.
+  void set_parallel_grain(std::size_t nodes_per_shard) noexcept {
+    parallel_grain_ = nodes_per_shard;
+  }
+  [[nodiscard]] std::size_t parallel_grain() const noexcept {
+    return parallel_grain_;
+  }
+
+  /// Default set_parallel_grain threshold: with fewer nodes per shard than
+  /// this, a round's per-shard work is in the microsecond range and pool
+  /// dispatch overhead dominates any speedup.
+  static constexpr std::size_t kDefaultParallelGrain = 4096;
+
   /// Attaches an observability plane (metrics registry + structured trace);
   /// nullptr detaches. The plane must outlive the network. All publication
   /// happens at the sequential round barrier (per-shard staging merged in
@@ -298,7 +338,7 @@ class SyncNetwork final : public NetworkBackend {
 
   /// True if v has crashed.
   [[nodiscard]] bool crashed(graph::NodeId v) const noexcept {
-    return crashed_[static_cast<std::size_t>(v)];
+    return (node_flags_[static_cast<std::size_t>(v)] & kNodeCrashed) != 0;
   }
 
   /// Number of currently live (non-crashed) nodes. O(1): maintained as a
@@ -329,13 +369,22 @@ class SyncNetwork final : public NetworkBackend {
  private:
   friend class Context;
 
-  /// One queued message: `to` plus the payload's location in the sending
-  /// shard's arena. Kept per sender, which (a) makes sender-ascending
-  /// delivery — and therefore sorted inboxes — a linear merge, and (b) lets
-  /// crash() find a sender's in-flight messages without scanning.
-  struct OutEntry {
+  // Per-node flag bits (node_flags_). A node executes a round iff its flags
+  // equal exactly kNodeHasProcess — one byte compare in the hot loop instead
+  // of three pointer/bool loads.
+  static constexpr std::uint8_t kNodeCrashed = 1u << 0;
+  static constexpr std::uint8_t kNodeHalted = 1u << 1;
+  static constexpr std::uint8_t kNodeHasProcess = 1u << 2;
+
+  /// One staged message: sender, receiver, and the payload's location in
+  /// the sending shard's arena. Lists are kept per (sender shard,
+  /// destination shard) pair; within a list entries are sender-ascending
+  /// (nodes execute in ascending order within their shard), which (a) makes
+  /// per-receiver sender-sorted inboxes a counting sort, and (b) lets
+  /// crash() binary-search a sender's in-flight messages.
+  struct XferEntry {
+    graph::NodeId from = -1;
     graph::NodeId to = -1;
-    std::uint32_t shard = 0;
     std::uint32_t offset = 0;
     std::uint32_t len = 0;
   };
@@ -364,59 +413,117 @@ class SyncNetwork final : public NetworkBackend {
 
   void apply_scheduled_events();
 
-  /// Shard owning node v's sends this round.
+  /// Shard owning node v under the current sharding.
   [[nodiscard]] std::uint32_t shard_of(graph::NodeId v) const noexcept {
     return static_cast<std::uint32_t>(static_cast<std::size_t>(v) /
                                       shard_block_);
   }
 
+  /// [begin, end) node range of shard s under the current sharding.
+  [[nodiscard]] std::pair<graph::NodeId, graph::NodeId> shard_range(
+      int s) const noexcept {
+    const auto n = static_cast<std::size_t>(graph_->n());
+    const std::size_t lo =
+        std::min(static_cast<std::size_t>(s) * shard_block_, n);
+    const std::size_t hi = std::min(lo + shard_block_, n);
+    return {static_cast<graph::NodeId>(lo), static_cast<graph::NodeId>(hi)};
+  }
+
+  /// Runs fn(0..shards-1) on the pool, or inline when the pool is absent or
+  /// shards are below the parallel grain. Either way each invocation only
+  /// writes shard-owned state, so the results are bitwise identical.
+  template <typename Fn>
+  void dispatch_shards(int shards, Fn&& fn) {
+    if (pool_ == nullptr || shard_block_ < parallel_grain_) {
+      for (int s = 0; s < shards; ++s) fn(s);
+    } else {
+      pool_->run(shards, std::forward<Fn>(fn));
+    }
+  }
+
   /// Runs on_round() for every live, unhalted process in [begin, end).
   void execute_nodes(graph::NodeId begin, graph::NodeId end, int shard);
 
-  /// Moves this round's outboxes into next round's inboxes (sender-major ⇒
-  /// sorted by sender), applying loss and crashed-receiver drops.
-  void deliver_round();
+  /// Two-phase delivery of this round's staged transfers into next round's
+  /// inboxes: a parallel count pass (channel verdicts, per-receiver counts,
+  /// delayed-copy enqueue), an O(shards) sequential prefix sum, and a
+  /// parallel place pass (counting sort into the flat inbox store plus
+  /// sorted insertion of due delayed copies).
+  void deliver_round(int shards);
+
+  /// Recomputes node_flags_[v] from processes_[v] (crash bit preserved).
+  void refresh_node_flags(graph::NodeId v) noexcept {
+    const auto idx = static_cast<std::size_t>(v);
+    std::uint8_t f = node_flags_[idx] & kNodeCrashed;
+    if (const Process* p = processes_[idx].get(); p != nullptr) {
+      f |= kNodeHasProcess;
+      if (p->halted()) f |= kNodeHalted;
+    }
+    node_flags_[idx] = f;
+  }
 
   /// True iff v's process exists, has not halted, and v is live — i.e. v
   /// contributes to running_count_.
   [[nodiscard]] bool counts_as_running(graph::NodeId v) const noexcept {
-    const auto idx = static_cast<std::size_t>(v);
-    return processes_[idx] != nullptr && !processes_[idx]->halted() &&
-           !crashed_[idx];
+    return node_flags_[static_cast<std::size_t>(v)] == kNodeHasProcess;
   }
 
-  /// Debug-only O(n) cross-check of live_count_ / running_count_.
+  /// Removes sender's entries from receiver `to`'s inbox region (in-region
+  /// move + length decrement; idempotent, no-op when absent).
+  void erase_inbox_entries(graph::NodeId sender, graph::NodeId to) noexcept;
+
+  /// Drops every entry sent by v from the (unswapped) current generation.
+  void purge_current_sends(graph::NodeId v);
+
+  /// Clears the per-shard channel decision caches (options changed).
+  void reset_channel_shard_state();
+
+  /// Debug-only O(n) cross-check of live_count_ / running_count_ and the
+  /// node_flags_ cache against the authoritative process states.
   void check_counters() const noexcept;
 
   const graph::Graph* graph_ = nullptr;
   const geom::UnitDiskGraph* udg_ = nullptr;
   std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<util::Rng> rngs_;
+  std::vector<util::Rng> rngs_;  ///< per node, contiguous
+
+  // Structure-of-arrays node state, indexed by node id (shard-contiguous:
+  // a shard's nodes are a contiguous range, so its per-node traffic stays
+  // in its own cache lines).
+  std::vector<std::uint8_t> node_flags_;     // kNode* bits
+  std::vector<std::uint32_t> inbox_off_;     // region start in inbox_store_
+  std::vector<std::uint32_t> inbox_len_;     // region length (crash-shrunk)
+  std::vector<std::uint32_t> inbox_count_;   // delivery scratch: counts
+  std::vector<std::uint32_t> inbox_cursor_;  // delivery scratch: fill cursor
 
   // Message plane. Double-buffered: processes read views into the `prev`
   // generation (what was delivered to them) while their sends fill `cur`.
-  std::vector<std::vector<Message>> inboxes_;       // views into arena_prev_
-  std::vector<std::vector<Word>> arena_cur_;        // one per shard
+  // xfer lists are indexed [sender_shard * shards + dest_shard]; a sender
+  // shard owns row s exclusively during compute, a destination shard reads
+  // column d exclusively during delivery.
+  std::vector<std::vector<Word>> arena_cur_;   // one per sender shard
   std::vector<std::vector<Word>> arena_prev_;
-  std::vector<std::vector<OutEntry>> out_cur_;      // queued, per sender
-  std::vector<std::vector<OutEntry>> out_prev_;     // delivered, per sender
-  std::vector<ShardStats> shard_stats_;             // one per shard
-  // Nodes that sent this round, per shard in ascending id order (shards
-  // cover ascending contiguous ranges, so concatenating the lists in shard
-  // order enumerates all senders in ascending order — this is what makes
-  // delivery produce sorted inboxes in O(messages) with no sort, and lets
-  // the round-end cleanup touch only nodes that actually communicated).
-  std::vector<std::vector<graph::NodeId>> shard_senders_cur_;
-  std::vector<std::vector<graph::NodeId>> shard_senders_prev_;
-  std::vector<graph::NodeId> receivers_;  // nodes with a nonempty inbox
+  std::vector<std::vector<XferEntry>> xfer_cur_;   // S*S transfer lists
+  std::vector<std::vector<XferEntry>> xfer_prev_;  // delivered generation
+  int xfer_shards_prev_ = 1;          ///< shard count xfer_prev_ was built at
+  std::size_t xfer_block_prev_ = 1;   ///< shard block of that generation
+  std::vector<Message> inbox_store_;  ///< all inboxes, receiver-contiguous
+  std::vector<ShardStats> shard_stats_;            // one per sender shard
+  std::vector<std::uint64_t> shard_inbox_total_;   // delivery scratch per d
+  std::vector<std::uint64_t> shard_inbox_base_;    // delivery scratch per d
+  // Channel fates decided in the count pass, replayed verbatim by the place
+  // pass (decide() counts side effects; deciding twice would double them).
+  // One byte per incoming entry, per destination shard, enumeration order.
+  std::vector<std::vector<std::uint8_t>> fate_scratch_;
+  std::vector<Channel::ShardState> channel_shards_;  // one per dest shard
 
   // Parallel engine.
   int threads_ = 1;
   std::size_t shard_block_ = 1;  ///< nodes per shard (ceil(n / shards))
+  std::size_t parallel_grain_ = kDefaultParallelGrain;
   std::unique_ptr<util::ThreadPool> pool_;
 
-  std::vector<bool> crashed_;
-  graph::NodeId live_count_ = 0;      ///< nodes with crashed_[v] == false
+  graph::NodeId live_count_ = 0;      ///< nodes without kNodeCrashed
   std::int64_t running_count_ = 0;    ///< nodes where counts_as_running()
   std::vector<std::pair<std::int64_t, graph::NodeId>> scheduled_crashes_;
   struct ScheduledRecovery {
@@ -429,10 +536,12 @@ class SyncNetwork final : public NetworkBackend {
 
   // Unreliable channel. Delayed (reordered/duplicated) deliveries cannot
   // alias the round arenas — they outlive the generation swap — so each
-  // owns its payload. `delayed_live_` holds the copies whose views sit in
-  // current inboxes (the inner word vectors are heap buffers, stable under
-  // the outer vector's growth); `delayed_pending_` holds copies still in
-  // flight.
+  // owns its payload. Both lists are bucketed by destination shard so the
+  // delivery passes touch only shard-owned buckets; per-receiver order
+  // within a bucket is (enqueue round, sender), which is width-invariant.
+  // `delayed_live_` holds the copies whose views sit in current inboxes
+  // (the inner word vectors are heap buffers, stable under bucket growth
+  // and re-bucketing moves); `delayed_pending_` holds copies in flight.
   struct DelayedMessage {
     std::int64_t due = 0;  ///< round whose inbox receives the message
     graph::NodeId from = -1;
@@ -440,8 +549,8 @@ class SyncNetwork final : public NetworkBackend {
     std::vector<Word> words;
   };
   Channel channel_;
-  std::vector<DelayedMessage> delayed_pending_;
-  std::vector<DelayedMessage> delayed_live_;
+  std::vector<std::vector<DelayedMessage>> delayed_pending_;
+  std::vector<std::vector<DelayedMessage>> delayed_live_;
 
   std::int64_t round_ = 0;
   Metrics metrics_;

@@ -82,6 +82,7 @@ LpDistRun run_lp_distributed(const Graph& g, const Demands& demands, int t,
                              const sim::ChannelOptions& channel) {
   sim::SyncNetwork net(g, seed);
   net.set_threads(threads);
+  net.set_parallel_grain(0);  // fuzz sizes are tiny; always exercise the pool
   if (channel.impaired()) net.set_channel(channel);
   net.set_all_processes([&](NodeId v) {
     return std::make_unique<algo::LpKmdsProcess>(
@@ -116,6 +117,7 @@ RoundingDistRun run_rounding_distributed(const Graph& g,
                                          obs::Plane* plane) {
   sim::SyncNetwork net(g, seed);
   net.set_threads(threads);
+  net.set_parallel_grain(0);  // fuzz sizes are tiny; always exercise the pool
   if (plane != nullptr) net.set_observability(plane);
   if (channel.impaired()) net.set_channel(channel);
   net.set_all_processes([&](NodeId v) {
@@ -335,6 +337,7 @@ void check_udg(const FuzzCase& c, const geom::UnitDiskGraph& udg,
   for (const int threads : {1, c.threads}) {
     sim::SyncNetwork net(udg, c.algo_seed);
     net.set_threads(threads);
+    net.set_parallel_grain(0);
     net.set_all_processes(
         [&](NodeId) { return std::make_unique<algo::UdgKmdsProcess>(opts); });
     const std::int64_t budget =
@@ -417,6 +420,7 @@ RepairRun run_repair(const FuzzCase& c, const Instance& inst,
     net = std::make_unique<sim::SyncNetwork>(inst.g, c.algo_seed);
   }
   net->set_threads(threads);
+  net->set_parallel_grain(0);
   sim::ChannelOptions channel = channel_from_case(c);
   if (channel.impaired()) {
     channel.seed = c.algo_seed ^ 0xC0FFEEULL;
@@ -553,6 +557,7 @@ TransportRun run_transport_flood(const FuzzCase& c, const Graph& g,
                                  int threads, std::int64_t budget) {
   sim::SyncNetwork net(g, c.algo_seed);
   net.set_threads(threads);
+  net.set_parallel_grain(0);  // fuzz sizes are tiny; always exercise the pool
   const sim::ChannelOptions channel = channel_from_case(c);
   if (channel.impaired()) net.set_channel(channel);
   net.set_all_processes(

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ftc::util {
@@ -14,10 +15,14 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(job_mutex_);
     stop_ = true;
+    // Bump the generation so sleeping workers wake, observe stop_, and exit.
+    // The claim word is not re-published, so a worker racing past the check
+    // can claim nothing from the dead generation.
+    generation_.fetch_add(1, std::memory_order_release);
   }
-  work_ready_.notify_all();
+  generation_.notify_all();
   for (std::thread& w : workers_) {
     w.join();
   }
@@ -29,71 +34,99 @@ int ThreadPool::hardware_threads() noexcept {
 }
 
 void ThreadPool::drain_tasks(const std::function<void(int)>* fn, int tasks,
-                             std::uint64_t gen) {
+                             int grain, std::uint64_t gen) {
+  std::uint64_t word = claim_.load(std::memory_order_acquire);
   for (;;) {
-    int task;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      // Generation guard: after a job's final ++completed_, run() may return
-      // and publish a new job before this thread re-reaches the claim check.
-      // next_task_/completed_ then belong to the new job, so claiming on
-      // `next_task_ < tasks` alone would run a task of the new job through
-      // the old (possibly destroyed) fn and break the new job's barrier.
-      if (generation_ != gen || next_task_ >= tasks) return;
-      task = next_task_++;
+    // Generation guard: after a job's final completion, run() may return and
+    // publish a new job before this thread re-reaches the claim check. The
+    // generation is packed into the claim word itself, so a CAS from a stale
+    // snapshot can never hand this thread a task of the new job — the
+    // comparison fails, the reload observes the new generation, and the
+    // loop leaves without touching the (possibly destroyed) old fn.
+    if ((word >> kTaskBits) != gen) return;
+    const int begin = static_cast<int>(word & kTaskMask);
+    if (begin >= tasks) return;
+    const int end = std::min(begin + grain, tasks);
+    if (!claim_.compare_exchange_weak(
+            word, word + static_cast<std::uint64_t>(end - begin),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      continue;  // word was reloaded by the failed CAS
     }
-    // Between the claim above and the ++completed_ below, completed_ < tasks
-    // holds for generation `gen`, so run() cannot return and the job (and
-    // *fn) stays alive while we execute.
-    (*fn)(task);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++completed_;
-      if (completed_ == tasks) job_done_.notify_all();
+    // Between the successful claim above and the completed_ add below,
+    // completed_ < tasks holds for generation `gen`, so run() cannot return
+    // and the job (and *fn) stays alive while we execute.
+    for (int task = begin; task < end; ++task) (*fn)(task);
+    const int done =
+        completed_.fetch_add(end - begin, std::memory_order_acq_rel) +
+        (end - begin);
+    assert(done <= tasks);
+    if (done == tasks) {
+      done_epoch_.fetch_add(1, std::memory_order_release);
+      done_epoch_.notify_all();
     }
+    word = claim_.load(std::memory_order_acquire);
   }
 }
 
 void ThreadPool::worker_loop() {
-  std::uint64_t seen_generation = 0;
+  std::uint64_t seen = 0;
   for (;;) {
+    generation_.wait(seen, std::memory_order_acquire);
     const std::function<void(int)>* fn = nullptr;
     int tasks = 0;
+    int grain = 1;
+    std::uint64_t gen = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      // The mutex makes the job snapshot (fn, tasks, grain, generation)
+      // internally consistent; it is taken once per wakeup, never per task,
+      // so the dispatch and barrier hot paths stay lock-free.
+      std::lock_guard<std::mutex> lock(job_mutex_);
       if (stop_) return;
-      seen_generation = generation_;
+      gen = generation_.load(std::memory_order_relaxed);
+      if (gen == seen) continue;  // spurious wake
+      seen = gen;
       fn = job_;
       tasks = tasks_;
+      grain = grain_;
     }
-    drain_tasks(fn, tasks, seen_generation);
+    if (fn != nullptr) drain_tasks(fn, tasks, grain, gen);
   }
 }
 
-void ThreadPool::run(int tasks, const std::function<void(int)>& fn) {
-  assert(tasks >= 0);
+void ThreadPool::run(int tasks, const std::function<void(int)>& fn,
+                     int grain) {
+  assert(tasks >= 0 && tasks <= kMaxTasks);
+  assert(grain >= 1);
   if (tasks == 0) return;
-  if (workers_.empty()) {
+  if (workers_.empty() || tasks <= grain) {
     for (int i = 0; i < tasks; ++i) fn(i);
     return;
   }
+  const std::uint64_t done_target =
+      done_epoch_.load(std::memory_order_relaxed) + 1;
   std::uint64_t gen;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(job_mutex_);
     job_ = &fn;
     tasks_ = tasks;
-    next_task_ = 0;
-    completed_ = 0;
-    gen = ++generation_;
+    grain_ = grain;
+    completed_.store(0, std::memory_order_relaxed);
+    gen = generation_.load(std::memory_order_relaxed) + 1;
+    claim_.store(gen << kTaskBits, std::memory_order_relaxed);
+    generation_.store(gen, std::memory_order_release);
   }
-  work_ready_.notify_all();
-  drain_tasks(&fn, tasks, gen);
+  generation_.notify_all();
+  drain_tasks(&fn, tasks, grain, gen);
+  // Wait-free in the common case: if the caller executed the last task the
+  // epoch already advanced and the loop falls straight through; otherwise
+  // block on the epoch word until the finishing worker bumps it.
+  for (;;) {
+    const std::uint64_t epoch = done_epoch_.load(std::memory_order_acquire);
+    if (epoch >= done_target) break;
+    done_epoch_.wait(epoch, std::memory_order_acquire);
+  }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    job_done_.wait(lock, [&] { return completed_ == tasks_; });
+    std::lock_guard<std::mutex> lock(job_mutex_);
     job_ = nullptr;
   }
 }

@@ -1,10 +1,26 @@
 // Persistent worker pool for deterministic fork-join parallelism.
 //
-// The simulator's parallel round engine shards nodes across threads every
-// round; spawning threads per round would dominate the runtime, so the pool
-// keeps its workers alive across run() calls. run() is a strict barrier: it
-// dispatches `tasks` independent task indices to the workers (the calling
-// thread participates too) and returns only when every task has finished.
+// The simulator's parallel round engine dispatches two to three short
+// parallel phases per round; at a million rounds per run the pool's dispatch
+// and barrier costs are hot-path costs. The pool therefore avoids mutexes
+// and condition variables entirely on the dispatch path:
+//
+//   * Task claiming is a single atomic compare-exchange on a packed
+//     (generation, next-task) word. Packing the job generation into the same
+//     word as the task cursor makes the stale-worker race (a worker from job
+//     k-1 claiming a task of job k through job k-1's destroyed function)
+//     structurally impossible: a claim succeeds only if the generation half
+//     of the word still matches the claimer's job.
+//   * Workers claim `grain` consecutive task indices per CAS so fine-grained
+//     task lists amortize the claim to one atomic RMW per chunk.
+//   * The completion barrier is a wait-free epoch counter: the worker whose
+//     chunk completes the job bumps `done_epoch_` and wakes the caller via
+//     C++20 atomic notify — no condvar round-trips, and a caller that
+//     finished the last task itself never blocks at all.
+//
+// run() is a strict barrier: it dispatches task indices [0, tasks) to the
+// workers (the calling thread participates too) and returns only when every
+// task has finished.
 //
 // Determinism contract: the pool itself imposes no ordering between tasks —
 // callers get reproducible results by making tasks write to disjoint,
@@ -12,7 +28,7 @@
 // exactly how SyncNetwork's parallel mode uses it (see network.h).
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -40,31 +56,44 @@ class ThreadPool {
 
   /// Runs fn(0), ..., fn(tasks - 1), each exactly once, distributed over the
   /// pool. Blocks until all calls have returned. fn must not throw.
-  void run(int tasks, const std::function<void(int)>& fn);
+  /// `grain` >= 1 is the number of consecutive task indices a worker claims
+  /// per atomic operation; jobs with tasks <= grain run inline on the caller
+  /// (there is nothing to parallelize that would repay a wakeup).
+  void run(int tasks, const std::function<void(int)>& fn, int grain = 1);
 
   /// Threads the hardware supports (>= 1); the default width for callers
   /// that do not specify one.
   [[nodiscard]] static int hardware_threads() noexcept;
 
  private:
+  // claim_ layout: high 40 bits job generation, low 24 bits next task index.
+  static constexpr int kTaskBits = 24;
+  static constexpr std::uint64_t kTaskMask = (1ULL << kTaskBits) - 1;
+  /// Largest task count run() accepts (16M; shard counts are tiny).
+  static constexpr int kMaxTasks = static_cast<int>(kTaskMask);
+
   void worker_loop();
-  /// Claims and executes tasks of job generation `gen` until none remain or
-  /// a newer job has been published. `fn` is dereferenced only after a
-  /// successful claim, so a stale caller holding a pointer to a completed
-  /// job's (possibly destroyed) function never invokes it.
-  void drain_tasks(const std::function<void(int)>* fn, int tasks,
+  /// Claims and executes chunks of job generation `gen` until none remain or
+  /// a newer job has been published (the generation half of claim_ changed).
+  void drain_tasks(const std::function<void(int)>* fn, int tasks, int grain,
                    std::uint64_t gen);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable job_done_;
-  const std::function<void(int)>* job_ = nullptr;  // guarded by mutex_
-  int tasks_ = 0;                                  // guarded by mutex_
-  int next_task_ = 0;                              // guarded by mutex_
-  int completed_ = 0;                              // guarded by mutex_
-  std::uint64_t generation_ = 0;                   // guarded by mutex_
-  bool stop_ = false;                              // guarded by mutex_
+  // Job publication. The descriptor fields are written by run() and read by
+  // a freshly woken worker under job_mutex_, which makes each worker's
+  // snapshot of (fn, tasks, grain, generation) internally consistent — a
+  // worker can never pair job k's function with job k+1's task count. The
+  // mutex is touched once per wakeup and once per dispatch, never per task
+  // or per barrier, so the hot paths below stay lock-free.
+  std::mutex job_mutex_;
+  const std::function<void(int)>* job_ = nullptr;
+  int tasks_ = 0;
+  int grain_ = 1;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> generation_{0};  ///< workers wait on this
+  std::atomic<std::uint64_t> claim_{0};       ///< packed (generation, cursor)
+  std::atomic<int> completed_{0};             ///< tasks finished this job
+  std::atomic<std::uint64_t> done_epoch_{0};  ///< caller waits on this
 };
 
 }  // namespace ftc::util

@@ -1,0 +1,109 @@
+#include "graph/packed.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/udg.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftc::graph {
+namespace {
+
+/// Full adjacency round-trip: both the callback and the scratch-decode
+/// paths must reproduce Graph::neighbors exactly, node by node.
+void expect_roundtrip(const Graph& g) {
+  const PackedAdjacency packed(g);
+  ASSERT_EQ(packed.n(), g.n());
+  std::vector<NodeId> scratch;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    ASSERT_EQ(packed.degree(v), g.degree(v)) << "node " << v;
+    packed.decode(v, scratch);
+    ASSERT_EQ(scratch, std::vector<NodeId>(nbrs.begin(), nbrs.end()))
+        << "node " << v;
+    std::vector<NodeId> via_callback;
+    packed.for_each_neighbor(v, [&](NodeId w) { via_callback.push_back(w); });
+    ASSERT_EQ(via_callback, scratch) << "node " << v;
+  }
+}
+
+TEST(PackedAdjacency, RoundTripsGeneratorFamilies) {
+  util::Rng rng(17);
+  expect_roundtrip(gnp(120, 0.08, rng));
+  expect_roundtrip(gnm(200, 900, rng));
+  expect_roundtrip(random_tree(150, rng));
+  expect_roundtrip(grid(12, 17));
+  expect_roundtrip(complete(25));
+  expect_roundtrip(star(40));
+  expect_roundtrip(cycle(33));
+}
+
+TEST(PackedAdjacency, RoundTripsUnitDiskGraph) {
+  util::Rng rng(42);
+  const auto udg = geom::uniform_udg_with_degree(2000, 12.0, rng);
+  expect_roundtrip(udg.graph);
+}
+
+TEST(PackedAdjacency, HandlesEmptyAndIsolatedNodes) {
+  expect_roundtrip(Graph{});
+  expect_roundtrip(empty(50));
+
+  // Mixed: a few edges, many isolated nodes, including node 0 and the last.
+  const Graph g = Graph::from_edges(
+      10, std::vector<std::pair<NodeId, NodeId>>{{2, 5}, {5, 7}, {2, 7}});
+  expect_roundtrip(g);
+  const PackedAdjacency packed(g);
+  EXPECT_EQ(packed.degree(0), 0);
+  EXPECT_EQ(packed.degree(9), 0);
+  EXPECT_EQ(packed.degree(5), 2);
+}
+
+TEST(PackedAdjacency, CompressesSpatialTopologyBelowRawCsr) {
+  // The headline use case: a sorted spatial topology should pack well under
+  // the 4 bytes/arc of the raw CSR adjacency array. Offsets and degrees are
+  // included in memory_bytes, so this also guards against bookkeeping bloat.
+  util::Rng rng(7);
+  const auto udg = geom::uniform_udg_with_degree(5000, 12.0, rng);
+  const Graph& g = udg.graph;
+  const PackedAdjacency packed(g);
+  const std::size_t arcs = g.m() * 2;
+  EXPECT_LT(packed.byte_size(), arcs * 3) << "gap encoding is not engaging";
+  EXPECT_LT(packed.memory_bytes(), g.memory_bytes());
+}
+
+TEST(PackedAdjacency, MemoryBytesAccountsForAllArrays) {
+  util::Rng rng(3);
+  const Graph g = gnp(300, 0.05, rng);
+  const PackedAdjacency packed(g);
+  // bytes + (n+1) uint32 offsets + n uint32 degrees, at minimum.
+  EXPECT_GE(packed.memory_bytes(),
+            packed.byte_size() +
+                (static_cast<std::size_t>(g.n()) * 2 + 1) * sizeof(std::uint32_t));
+}
+
+TEST(GraphMemory, MemoryBytesTracksCsrFootprint) {
+  const Graph g0;
+  EXPECT_EQ(g0.memory_bytes(), 0u);
+  util::Rng rng(11);
+  const Graph g = gnp(400, 0.04, rng);
+  // n+1 uint32 offsets plus 2m 32-bit ids, modulo capacity slack.
+  EXPECT_GE(g.memory_bytes(), (static_cast<std::size_t>(g.n()) + 1) *
+                                      sizeof(std::uint32_t) +
+                                  g.m() * 2 * sizeof(NodeId));
+}
+
+TEST(PackedAdjacency, LargeGapsNeedMultiByteVarints) {
+  // Star graph centered at the last node: the leaf lists hold one large
+  // absolute id, the center list has unit gaps — exercises both varint
+  // extremes through the same decode path.
+  const NodeId n = 40000;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, n - 1});
+  expect_roundtrip(Graph::from_edges(n, edges));
+}
+
+}  // namespace
+}  // namespace ftc::graph

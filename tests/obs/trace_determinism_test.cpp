@@ -96,6 +96,7 @@ TEST(ObsWiring, RegistryAgreesWithMetricsStruct) {
   sim::SyncNetwork net(udg, 99);
   net.set_observability(&plane);
   net.set_threads(4);
+  net.set_parallel_grain(0);  // small n: force the pool, not the fallback
   net.set_message_loss(0.1);
   net.schedule_crash(3, 5);
   net.schedule_crash(11, 9);

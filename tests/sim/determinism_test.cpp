@@ -73,9 +73,12 @@ RunResult collect(SyncNetwork& net, std::int64_t executed) {
 
 constexpr std::int64_t kRounds = 25;
 
-RunResult run_plain(const graph::Graph& g, std::uint64_t seed, int threads) {
+RunResult run_plain(const graph::Graph& g, std::uint64_t seed, int threads,
+                    std::size_t grain = 0) {
   SyncNetwork net(g, seed);
   net.set_threads(threads);
+  net.set_parallel_grain(grain);  // 0 = always use the pool (test sizes are
+                                  // far below the production threshold)
   net.set_all_processes(
       [](NodeId) { return std::make_unique<RecordingProcess>(kRounds); });
   const auto executed = net.run(kRounds + 1);
@@ -88,7 +91,7 @@ TEST(ParallelDeterminism, PlainRunMatchesSequentialForEveryThreadCount) {
     const graph::Graph g = graph::gnp(120, 0.08, rng);
     const RunResult sequential = run_plain(g, seed, 1);
     EXPECT_GT(sequential.metrics.messages_sent, 0);
-    for (int threads : {2, 3, 8}) {
+    for (int threads : {2, 3, 4, 8, 16}) {
       const RunResult parallel = run_plain(g, seed, threads);
       EXPECT_EQ(sequential, parallel)
           << "seed " << seed << ", threads " << threads;
@@ -100,6 +103,7 @@ RunResult run_faulted(const geom::UnitDiskGraph& udg, std::uint64_t seed,
                       int threads) {
   SyncNetwork net(udg, seed);
   net.set_threads(threads);
+  net.set_parallel_grain(0);
   net.set_message_loss(0.15, seed ^ 0xC0FFEE);
   net.set_all_processes(
       [](NodeId) { return std::make_unique<RecordingProcess>(kRounds); });
@@ -147,6 +151,7 @@ LossyRunResult run_lossy_channel(const graph::Graph& g, std::uint64_t seed,
   SyncNetwork net(g, seed);
   net.set_observability(&plane);
   net.set_threads(threads);
+  net.set_parallel_grain(0);
   net.set_all_processes(
       [](NodeId) { return std::make_unique<RecordingProcess>(kRounds); });
   // Every link-fault family at once, overlapping in time, plus crashes:
@@ -181,7 +186,7 @@ TEST(ParallelDeterminism, LossyChannelScheduleMatchesAtWidths148) {
     EXPECT_GT(sequential.base.messages_lost, 0);
     EXPECT_GT(sequential.duplicated, 0);
     EXPECT_GT(sequential.reordered, 0);
-    for (int threads : {4, 8}) {
+    for (int threads : {2, 4, 8, 16}) {
       const LossyRunResult parallel = run_lossy_channel(g, seed, threads);
       EXPECT_EQ(sequential, parallel)
           << "seed " << seed << ", threads " << threads;
@@ -195,13 +200,14 @@ TEST(ParallelDeterminism, ThreadCountMayChangeBetweenRounds) {
   const RunResult sequential = run_plain(g, 11, 1);
 
   SyncNetwork net(g, 11);
+  net.set_parallel_grain(0);
   net.set_all_processes(
       [](NodeId) { return std::make_unique<RecordingProcess>(kRounds); });
   std::int64_t executed = 0;
   // Reconfigure the engine width mid-run; the execution must not notice.
-  for (const int threads : {1, 4, 2, 8}) {
+  for (const int threads : {1, 4, 2, 16, 8}) {
     net.set_threads(threads);
-    for (int i = 0; i < 5; ++i) {
+    for (int i = 0; i < 4; ++i) {
       ++executed;
       if (!net.step()) break;
     }
@@ -215,6 +221,7 @@ RunResult run_crash_recover(const graph::Graph& g, std::uint64_t seed,
                             int threads) {
   SyncNetwork net(g, seed);
   net.set_threads(threads);
+  net.set_parallel_grain(0);
   net.set_message_loss(0.1, seed ^ 0xFA17);
   net.set_all_processes(
       [](NodeId) { return std::make_unique<RecordingProcess>(kRounds); });
@@ -251,7 +258,7 @@ TEST(ParallelDeterminism, CrashRecoveryScheduleMatchesForEveryThreadCount) {
     // the recovery round instead of continuing the pre-crash history.
     ASSERT_FALSE(sequential.logs[5].empty());
     EXPECT_GE(sequential.logs[5].front(), 16);
-    for (int threads = 2; threads <= 8; ++threads) {
+    for (int threads : {2, 3, 4, 5, 6, 7, 8, 16}) {
       const RunResult parallel = run_crash_recover(g, seed, threads);
       EXPECT_EQ(sequential, parallel)
           << "seed " << seed << ", threads " << threads;
@@ -266,6 +273,7 @@ TEST(ParallelDeterminism, RealAlgorithmProducesIdenticalClustering) {
   auto run_luby = [&](int threads) {
     SyncNetwork net(g, 77);
     net.set_threads(threads);
+    net.set_parallel_grain(0);
     net.set_all_processes(
         [](NodeId) { return std::make_unique<algo::LubyMisProcess>(2); });
     net.run(100000);
@@ -289,6 +297,7 @@ TEST(ParallelDeterminism, CrashDropsInFlightMessagesUnderParallelEngine) {
   auto run_with = [&](int threads) {
     SyncNetwork net(g, 5);
     net.set_threads(threads);
+    net.set_parallel_grain(0);
     net.set_all_processes(
         [](NodeId) { return std::make_unique<RecordingProcess>(12); });
     net.schedule_crash(3, 4);
@@ -301,6 +310,24 @@ TEST(ParallelDeterminism, CrashDropsInFlightMessagesUnderParallelEngine) {
   EXPECT_TRUE(sequential.crashed[3]);
   EXPECT_EQ(sequential.live, 6);
   EXPECT_EQ(run_with(4), sequential);
+}
+
+TEST(ParallelDeterminism, SmallNFallbackMatchesForcedParallelBitwise) {
+  // The auto-sequential fallback (per-shard work below the grain threshold)
+  // must be an execution-strategy choice only: running the staged phases
+  // inline has to produce bitwise-identical results to forcing them through
+  // the thread pool at the same width.
+  for (std::uint64_t seed : {5ULL, 23ULL}) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::gnp(110, 0.08, rng);
+    for (int threads : {2, 4, 8, 16}) {
+      const RunResult forced = run_plain(g, seed, threads, 0);
+      const RunResult fallback =
+          run_plain(g, seed, threads, SyncNetwork::kDefaultParallelGrain);
+      EXPECT_EQ(forced, fallback)
+          << "seed " << seed << ", threads " << threads;
+    }
+  }
 }
 
 TEST(ParallelDeterminism, BroadcastPayloadSharingKeepsAccounting) {
@@ -321,6 +348,7 @@ TEST(ParallelDeterminism, BroadcastPayloadSharingKeepsAccounting) {
   for (int threads : {1, 4}) {
     SyncNetwork net(g, 1);
     net.set_threads(threads);
+    net.set_parallel_grain(0);
     net.set_all_processes(
         [](NodeId) { return std::make_unique<OneBroadcast>(); });
     net.run(4);

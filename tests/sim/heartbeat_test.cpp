@@ -134,6 +134,7 @@ SuspicionStats run_all_live(double loss, int threads,
   const graph::Graph g = graph::complete(6);
   SyncNetwork net(g, 9);
   net.set_threads(threads);
+  net.set_parallel_grain(0);  // small n: force the pool, not the fallback
   if (loss > 0.0) net.set_message_loss(loss, 777);
   net.set_all_processes(
       [&](NodeId) { return std::make_unique<WindowedBeacon>(options); });

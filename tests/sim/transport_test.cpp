@@ -139,6 +139,7 @@ TransportSnapshot run_crash_during_retransmission(int threads) {
   const graph::Graph g = graph::complete(6);
   SyncNetwork net(g, 21);
   net.set_threads(threads);
+  net.set_parallel_grain(0);  // small n: force the pool, not the fallback
   ChannelOptions o;
   o.loss = 0.35;
   o.duplicate = 0.2;
