@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_algo.json: Release-build the algo kernel benchmark and
+# run it on the full committed grid (coverage/deficiency n 1e5,1e6; LP
+# n 2e4,2e5 at threads 1,4,8; rounding trial loop).
+#
+#   scripts/bench_algo.sh [--quick] [build-dir] [bench args...]
+#
+# --quick runs the row-subset grid (n 1e5, LP n 2e4, threads 1,4) the
+# `check.sh algo-perf` gate uses — seconds instead of the full sweep — and
+# writes the same BENCH_algo.json. Extra arguments after the build dir are
+# passed through to the bench, e.g.
+#   scripts/bench_algo.sh build --repeats=10
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK_ARGS=()
+if [ "${1:-}" = "--quick" ]; then
+  QUICK_ARGS=(--quick)
+  shift
+fi
+
+BUILD_DIR="${1:-build}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_algo_kernels
+"$BUILD_DIR/bench/bench_algo_kernels" --json=BENCH_algo.json \
+  ${QUICK_ARGS[@]+"${QUICK_ARGS[@]}"} "$@"

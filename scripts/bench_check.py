@@ -3,6 +3,7 @@
 
 Usage:
     bench_check.py COMMITTED.json FRESH.json [--tolerance=0.05]
+    bench_check.py --selftest
 
 Both files must be outputs of the same bench binary (BENCH_*.json shape:
 a top-level object with a "results" array of flat row objects). Rows are
@@ -16,16 +17,24 @@ grid changes don't mask real regressions on the surviving rows.
 Machine context: if both files record `hardware_threads` and they differ,
 the comparison is apples-to-oranges; a warning is printed (the gate still
 runs — a slower machine fails loudly rather than silently passing).
+
+`--selftest` exercises the gate against synthetic fixtures (pass, fail,
+missing file, malformed JSON, no-metric baseline) and exits nonzero on any
+deviation — `check.sh selftest` runs it so the gate itself is regression-
+guarded.
 """
 
 import json
+import os
 import sys
+import tempfile
 
 # Keys that are measurements or derived from them — never identity.
 MEASUREMENT_KEYS = frozenset({
     "seconds", "rounds", "messages", "words",
-    "peak_rss_mb", "allocs_per_round", "wall_s",
-    "speedup_vs_legacy", "speedup_vs_1t", "efficiency",
+    "peak_rss_mb", "allocs_per_round", "allocs_per_trial", "wall_s",
+    "speedup_vs_legacy", "speedup_vs_1t", "speedup_vs_scalar",
+    "speedup_vs_reference", "efficiency",
 })
 
 
@@ -35,15 +44,33 @@ def identity(row):
                         and k not in MEASUREMENT_KEYS))
 
 
-def load_rows(path):
+def load_rows(path, role):
+    """Loads one side of the comparison; exits with a one-line diagnosis
+    (never a traceback) on a missing/renamed file or a malformed document."""
+    if not os.path.exists(path):
+        hint = (" — was the baseline renamed or not committed?"
+                if role == "baseline"
+                else " — did the bench run fail before writing its JSON?")
+        sys.exit(f"bench_check: {role} file not found: {path}{hint}")
     try:
         with open(path) as f:
             doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"bench_check: cannot read {path}: {e}")
+    except OSError as e:
+        sys.exit(f"bench_check: cannot read {role} {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_check: {role} {path} is not valid JSON ({e}) — "
+                 f"truncated bench output?")
+    if not isinstance(doc, dict):
+        sys.exit(f"bench_check: {role} {path} is not a JSON object "
+                 f"(got {type(doc).__name__}) — not a BENCH_*.json file?")
     rows = doc.get("results")
     if not isinstance(rows, list) or not rows:
-        sys.exit(f"bench_check: {path} has no 'results' rows")
+        sys.exit(f"bench_check: {role} {path} has no 'results' rows — "
+                 f"not a BENCH_*.json file, or an empty bench run")
+    if not any(k.endswith("_per_sec") for row in rows for k in row):
+        sys.exit(f"bench_check: {role} {path} has no '*_per_sec' metric "
+                 f"columns — nothing to gate on (did the bench's JSON "
+                 f"schema change?)")
     return doc, {identity(r): r for r in rows}
 
 
@@ -51,18 +78,9 @@ def fmt_id(key):
     return " ".join(f"{k}={v}" for k, v in key)
 
 
-def main(argv):
-    tolerance = 0.05
-    paths = []
-    for arg in argv[1:]:
-        if arg.startswith("--tolerance="):
-            tolerance = float(arg.split("=", 1)[1])
-        else:
-            paths.append(arg)
-    if len(paths) != 2:
-        sys.exit(__doc__.strip().splitlines()[2].strip())
-    committed_doc, committed = load_rows(paths[0])
-    fresh_doc, fresh = load_rows(paths[1])
+def compare(committed_path, fresh_path, tolerance):
+    committed_doc, committed = load_rows(committed_path, "baseline")
+    fresh_doc, fresh = load_rows(fresh_path, "fresh")
 
     hw_old = committed_doc.get("hardware_threads")
     hw_new = fresh_doc.get("hardware_threads")
@@ -100,7 +118,9 @@ def main(argv):
                   f"{fmt_id(key)}")
 
     if compared == 0:
-        sys.exit("bench_check: no comparable *_per_sec metrics found")
+        sys.exit("bench_check: no comparable *_per_sec metrics found — the "
+                 "two files share no row identities (different bench, or "
+                 "the grid changed completely); regenerate the baseline")
     if regressions:
         print(f"\nbench_check: FAIL — {len(regressions)} metric(s) regressed "
               f"more than {tolerance:.0%}:")
@@ -109,8 +129,110 @@ def main(argv):
                   f"({(1.0 - ratio):.1%} slower)")
         return 1
     print(f"\nbench_check: OK — {compared} metrics within {tolerance:.0%} "
-          f"of {paths[0]}")
+          f"of {committed_path}")
     return 0
+
+
+def selftest():
+    """Synthetic fixtures through the real entry points; any deviation from
+    the expected exit behavior fails the selftest."""
+    def run(committed, fresh, tolerance=0.05):
+        """Runs compare() in-process with its chatter suppressed, capturing
+        SystemExit; returns the effective exit code."""
+        import contextlib
+        import io
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                return compare(committed, fresh, tolerance)
+        except SystemExit as e:
+            return e.code if isinstance(e.code, int) else 1
+
+    failures = []
+
+    def expect(name, got, want_fail):
+        failed = (got != 0)
+        if failed != want_fail:
+            failures.append(f"{name}: exit={got}, expected "
+                            f"{'failure' if want_fail else 'success'}")
+
+    with tempfile.TemporaryDirectory() as d:
+        def write(name, doc):
+            path = os.path.join(d, name)
+            with open(path, "w") as f:
+                if isinstance(doc, str):
+                    f.write(doc)
+                else:
+                    json.dump(doc, f)
+            return path
+
+        base = write("base.json", {"results": [
+            {"section": "x", "n": 10, "ops_per_sec": 100.0,
+             "speedup_vs_scalar": 4.0},
+            {"section": "x", "n": 20, "ops_per_sec": 50.0,
+             "speedup_vs_scalar": 3.0},
+        ]})
+        same = write("same.json", {"results": [
+            {"section": "x", "n": 10, "ops_per_sec": 99.0,
+             "speedup_vs_scalar": 9.9},  # derived ratio must not affect match
+            {"section": "x", "n": 20, "ops_per_sec": 51.0,
+             "speedup_vs_scalar": 0.1},
+        ]})
+        slow = write("slow.json", {"results": [
+            {"section": "x", "n": 10, "ops_per_sec": 80.0},
+            {"section": "x", "n": 20, "ops_per_sec": 50.0},
+        ]})
+        subset = write("subset.json", {"results": [
+            {"section": "x", "n": 10, "ops_per_sec": 101.0},
+        ]})
+        disjoint = write("disjoint.json", {"results": [
+            {"section": "y", "n": 99, "ops_per_sec": 1.0},
+        ]})
+        no_metric = write("no_metric.json", {"results": [
+            {"section": "x", "n": 10, "seconds": 1.0},
+        ]})
+        malformed = write("malformed.json", '{"results": [')
+        not_bench = write("not_bench.json", {"hello": "world"})
+
+        expect("within tolerance", run(base, same), want_fail=False)
+        expect("regression detected", run(base, slow), want_fail=True)
+        expect("regression inside loose tolerance",
+               run(base, slow, tolerance=0.5), want_fail=False)
+        expect("quick row-subset", run(base, subset), want_fail=False)
+        expect("disjoint grids rejected", run(base, disjoint), want_fail=True)
+        expect("missing baseline", run(os.path.join(d, "renamed.json"), same),
+               want_fail=True)
+        expect("missing fresh", run(base, os.path.join(d, "gone.json")),
+               want_fail=True)
+        expect("no *_per_sec baseline", run(no_metric, same), want_fail=True)
+        expect("malformed JSON", run(malformed, same), want_fail=True)
+        expect("non-bench JSON", run(not_bench, same), want_fail=True)
+
+    if failures:
+        print("bench_check --selftest: FAILED")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("bench_check --selftest: OK — 10 fixtures behaved as expected")
+    return 0
+
+
+def main(argv):
+    if "--selftest" in argv[1:]:
+        return selftest()
+    tolerance = 0.05
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            try:
+                tolerance = float(arg.split("=", 1)[1])
+            except ValueError:
+                sys.exit(f"bench_check: bad {arg} — expected a number, "
+                         f"e.g. --tolerance=0.05")
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__.strip().splitlines()[2].strip())
+    return compare(paths[0], paths[1], tolerance)
 
 
 if __name__ == "__main__":

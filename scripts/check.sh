@@ -14,18 +14,46 @@
 #                                           channel (--lossy): exercises the
 #                                           link-impairment + transport paths
 #   scripts/check.sh perf [build-dir]       opt-in perf gate: Release-build
-#                                           the core benches, re-run them on
-#                                           the committed grids, and fail on
-#                                           a >5% throughput regression vs
-#                                           the checked-in BENCH_*.json
+#                                           the whole bench fleet (simcore,
+#                                           simcore_mt, transport,
+#                                           obs-overhead, algo kernels),
+#                                           re-run each on its committed
+#                                           grid, fail on a >5% throughput
+#                                           regression vs the checked-in
+#                                           BENCH_*.json, and append one
+#                                           line (UTC timestamp, git sha,
+#                                           per-bench status) to
+#                                           bench_history.jsonl
 #                                           (default build dir: build)
+#   scripts/check.sh algo-perf [build-dir]  fast algo-kernel-only gate:
+#                                           bench_algo_kernels --quick (a
+#                                           row-subset of the committed
+#                                           grid) under the same >5% gate,
+#                                           with a history line
 #   scripts/check.sh selftest               verify that a failing ctest
 #                                           propagates to this script's exit
-#                                           code (regression guard, no build)
+#                                           code, and that bench_check.py's
+#                                           own --selftest passes
+#                                           (regression guard, no build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 MODE="${FTC_SANITIZE:-address}"
+
+# Appends one JSON line to bench_history.jsonl recording a perf-gate run:
+#   {"utc": ..., "git_sha": ..., "mode": ..., "status": ..., "benches": {...}}
+# The history file is append-only local state (gitignored): it accumulates a
+# per-machine timeline of gate outcomes so a slow drift — each step inside
+# the 5% tolerance — is still visible in one place.
+# $1 = mode label, $2 = overall status, $3 = per-bench JSON fragment.
+append_history() {
+  local utc sha
+  utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '{"utc": "%s", "git_sha": "%s", "mode": "%s", "status": "%s", "benches": {%s}}\n' \
+    "$utc" "$sha" "$1" "$2" "$3" >> bench_history.jsonl
+  echo "check.sh: appended $1 run ($2) to bench_history.jsonl"
+}
 
 # An explicit configure guard (on top of set -e): a failed configure must
 # never fall through to a ctest that "passes" by running zero tests.
@@ -69,6 +97,11 @@ if [ "${1:-}" = "selftest" ]; then
     exit 1
   fi
   echo "check.sh selftest: OK — ctest failures propagate"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/bench_check.py --selftest
+  else
+    echo "check.sh selftest: python3 not found — skipping bench_check selftest"
+  fi
   exit 0
 fi
 
@@ -101,22 +134,65 @@ if [ "${1:-}" = "loss-fuzz" ]; then
 fi
 
 if [ "${1:-}" = "perf" ]; then
-  # Perf-regression gate (opt-in: it re-runs real benchmarks, minutes not
-  # seconds, and is only meaningful on a quiet machine). Fresh JSON goes
-  # under the build tree; the committed BENCH_*.json stay untouched.
+  # Fleet perf-regression gate (opt-in: it re-runs real benchmarks, minutes
+  # not seconds, and is only meaningful on a quiet machine). Every bench
+  # with a committed baseline runs on its full committed grid; fresh JSON
+  # goes under the build tree, the committed BENCH_*.json stay untouched.
+  # All benches run even after a failure so one regression doesn't hide
+  # another; the history line records each bench's verdict.
   BUILD_DIR="${2:-build}"
   configure -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_p1_simcore bench_simcore_mt
-  "$BUILD_DIR/bench/bench_p1_simcore" --json="$BUILD_DIR/BENCH_simcore.fresh.json"
-  "$BUILD_DIR/bench/bench_simcore_mt" --json="$BUILD_DIR/BENCH_simcore_mt.fresh.json"
+    --target bench_p1_simcore bench_simcore_mt bench_transport \
+             bench_obs_overhead bench_algo_kernels
+  # name : binary : committed baseline (binaries take the default grid).
+  FLEET="simcore:bench_p1_simcore:BENCH_simcore.json
+simcore_mt:bench_simcore_mt:BENCH_simcore_mt.json
+transport:bench_transport:BENCH_transport.json
+obs_overhead:bench_obs_overhead:BENCH_obs_overhead.json
+algo:bench_algo_kernels:BENCH_algo.json"
   status=0
-  python3 scripts/bench_check.py BENCH_simcore.json \
-    "$BUILD_DIR/BENCH_simcore.fresh.json" || status=$?
-  python3 scripts/bench_check.py BENCH_simcore_mt.json \
-    "$BUILD_DIR/BENCH_simcore_mt.fresh.json" || status=$?
+  bench_states=""
+  while IFS=: read -r name binary baseline; do
+    fresh="$BUILD_DIR/${baseline%.json}.fresh.json"
+    one=0
+    "$BUILD_DIR/bench/$binary" --json="$fresh" || one=$?
+    if [ "$one" -eq 0 ]; then
+      python3 scripts/bench_check.py "$baseline" "$fresh" || one=$?
+    fi
+    verdict=ok
+    if [ "$one" -ne 0 ]; then verdict=fail; status=1; fi
+    bench_states="${bench_states:+$bench_states, }\"$name\": \"$verdict\""
+  done <<< "$FLEET"
+  overall=ok
+  [ "$status" -ne 0 ] && overall=fail
+  append_history perf "$overall" "$bench_states"
   if [ "$status" -ne 0 ]; then
-    echo "check.sh: perf gate failed — throughput regressed >5%" >&2
+    echo "check.sh: perf gate failed — throughput regressed >5% (or a bench aborted)" >&2
+    exit 1
+  fi
+  exit 0
+fi
+
+if [ "${1:-}" = "algo-perf" ]; then
+  # Algo-kernel-only gate: seconds, not minutes. --quick runs a row-subset
+  # of the committed BENCH_algo.json grid, so bench_check compares exactly
+  # the overlapping rows under the same >5% tolerance.
+  BUILD_DIR="${2:-build}"
+  configure -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_algo_kernels
+  status=0
+  "$BUILD_DIR/bench/bench_algo_kernels" --quick \
+    --json="$BUILD_DIR/BENCH_algo.fresh.json" || status=$?
+  if [ "$status" -eq 0 ]; then
+    python3 scripts/bench_check.py BENCH_algo.json \
+      "$BUILD_DIR/BENCH_algo.fresh.json" || status=$?
+  fi
+  overall=ok
+  [ "$status" -ne 0 ] && overall=fail
+  append_history algo-perf "$overall" "\"algo\": \"$overall\""
+  if [ "$status" -ne 0 ]; then
+    echo "check.sh: algo-perf gate failed — kernel throughput regressed >5%" >&2
     exit 1
   fi
   exit 0

@@ -1,10 +1,42 @@
+// Optimized centralized mirror of Algorithm 1 (see lp_kmds.h).
+//
+// This is the kernelized rewrite of the reference solver
+// (lp_kmds_reference.cpp); it must produce a bitwise-identical LpResult —
+// the property tests and the kernel.lp_reference_equiv fuzz invariant
+// enforce exactly that. Three structural changes carry the speedup:
+//
+//   * Power tables. The reference calls std::pow(d1v[i], e/t) three times
+//     per node per (p, q) phase. All exponents come from the finite set
+//     {-(t-1)/t .. t/t}, so the full pow family is precomputed once into
+//     flat tables (one shared row under global-Δ knowledge, where every
+//     node has the same base; one row per node under kTwoHop). Hoisting a
+//     pure call is exact: the tables hold the very doubles the reference
+//     computes inline.
+//   * Flat CSR arenas. The per-node vector<vector<double>> alpha/beta
+//     tables (2n allocations, pointer-chasing per access) become two flat
+//     arenas of n + 2m doubles indexed by closed-neighborhood slot:
+//     arena[base[i]] is node i's self slot, arena[base[i] + 1 + s] its s-th
+//     sorted neighbor. The final z-pass replaces per-edge binary searches
+//     with a precomputed reverse-slot array (the position of v inside w's
+//     adjacency row, built in one O(m) counting sweep).
+//   * Pool-parallel phases. Each of the three per-phase node loops (and
+//     the z-pass) is embarrassingly parallel: every node writes only its
+//     own slots and reads only values fixed before the loop started. The
+//     loops run over fixed node blocks on a util::ThreadPool; the one
+//     reduction (Lemma 4.1's max ratio) is collected per block and merged
+//     in block order after the barrier. Blocks are carved independently of
+//     the thread count and max is order-insensitive over a fixed set, so
+//     the output is bitwise identical at ANY width — the same determinism
+//     contract the simulator's round engine ships (DESIGN.md §11).
 #include "algo/lp/lp_kmds.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 
 #include "sim/message.h"
+#include "util/thread_pool.h"
 
 namespace ftc::algo {
 
@@ -42,6 +74,47 @@ double transmit(double value, bool quantize) {
   return quantize ? sim::decode_fixed(sim::encode_fixed(value)) : value;
 }
 
+/// Fixed-block parallel-for over [0, n). The block decomposition depends
+/// only on (n, block) — never on the thread count — so any reduction merged
+/// in block order is width-independent by construction.
+class BlockRunner {
+ public:
+  BlockRunner(std::size_t n, int threads, int block_nodes)
+      : n_(n),
+        block_(block_nodes > 0 ? static_cast<std::size_t>(block_nodes)
+                               : kDefaultBlockNodes),
+        blocks_(n == 0 ? 0 : (n + block_ - 1) / block_) {
+    if (threads > 1 && blocks_ > 1) {
+      pool_ = std::make_unique<util::ThreadPool>(threads);
+    }
+  }
+
+  [[nodiscard]] std::size_t blocks() const noexcept { return blocks_; }
+
+  /// Runs fn(first, last, block_index) over every block; strict barrier.
+  template <typename Fn>
+  void run(const Fn& fn) const {
+    if (pool_ != nullptr) {
+      pool_->run(static_cast<int>(blocks_), [&](int b) {
+        const auto ub = static_cast<std::size_t>(b);
+        fn(ub * block_, std::min(n_, (ub + 1) * block_), ub);
+      });
+    } else {
+      for (std::size_t b = 0; b < blocks_; ++b) {
+        fn(b * block_, std::min(n_, (b + 1) * block_), b);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kDefaultBlockNodes = 8192;
+
+  std::size_t n_;
+  std::size_t block_;
+  std::size_t blocks_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
 }  // namespace
 
 std::vector<double> two_hop_d1(const graph::Graph& g) {
@@ -71,15 +144,13 @@ LpResult solve_fractional_kmds(const graph::Graph& g, const Demands& demands,
   assert(options.t >= 1);
   const auto n = static_cast<std::size_t>(g.n());
   const int t = options.t;
+  const auto ts = static_cast<std::size_t>(t);
   const bool quantize = options.quantize_messages;
-  // Per-node base Δ_v + 1: the global maximum in the paper's baseline
-  // model, the 2-hop local maximum in the Remark's Δ-free variant.
+  const bool two_hop = options.degree_knowledge == DegreeKnowledge::kTwoHop;
+
+  // Per-node base Δ_v + 1 (two_hop) or the single global base (kGlobal).
   std::vector<double> d1v;
-  if (options.degree_knowledge == DegreeKnowledge::kTwoHop) {
-    d1v = two_hop_d1(g);
-  } else {
-    d1v.assign(n, static_cast<double>(g.max_degree()) + 1.0);
-  }
+  if (two_hop) d1v = two_hop_d1(g);
   const double d1 = static_cast<double>(g.max_degree()) + 1.0;
 
   LpResult result;
@@ -88,6 +159,30 @@ LpResult solve_fractional_kmds(const graph::Graph& g, const Demands& demands,
   result.primal.x.assign(n, 0.0);
   result.dual.y.assign(n, 0.0);
   result.dual.z.assign(n, 0.0);
+  if (n == 0) return result;
+
+  // Power tables: pos_pow[row·(t+1) + e] = base^{e/t} for e ∈ [0, t],
+  // neg_pow[row·t + q] = base^{-q/t} for q ∈ [0, t). Under global Δ every
+  // node shares one row (stride 0); under kTwoHop each node has its own.
+  // Entries are computed with the exact std::pow expressions the reference
+  // solver (and the distributed process) evaluates inline, so reading the
+  // table is bitwise-equivalent to recomputing.
+  const std::size_t rows = two_hop ? n : 1;
+  const std::size_t row_stride_pos = two_hop ? ts + 1 : 0;
+  const std::size_t row_stride_neg = two_hop ? ts : 0;
+  std::vector<double> pos_pow(rows * (ts + 1));
+  std::vector<double> neg_pow(rows * ts);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double base = two_hop ? d1v[r] : d1;
+    for (std::size_t e = 0; e <= ts; ++e) {
+      pos_pow[r * (ts + 1) + e] =
+          std::pow(base, static_cast<double>(e) / t);
+    }
+    for (std::size_t q = 0; q < ts; ++q) {
+      neg_pow[r * ts + q] =
+          std::pow(base, -static_cast<double>(q) / t);
+    }
+  }
 
   std::vector<double>& x = result.primal.x;
   std::vector<double> x_plus(n, 0.0);
@@ -99,99 +194,138 @@ LpResult solve_fractional_kmds(const graph::Graph& g, const Demands& demands,
     dyn_deg[static_cast<std::size_t>(v)] = g.degree(v) + 1;
   }
 
-  // alpha[i]/beta[i] indexed by closed-neighborhood slot of node i:
-  // slot 0 = i itself, slot 1+s = s-th sorted neighbor. alpha[i][slot of j]
-  // holds the paper's α_{j,i} ("j's contribution accounted by i").
-  std::vector<std::vector<double>> alpha(n), beta(n);
-  for (NodeId v = 0; v < g.n(); ++v) {
-    const auto idx = static_cast<std::size_t>(v);
-    alpha[idx].assign(static_cast<std::size_t>(g.degree(v)) + 1, 0.0);
-    beta[idx].assign(static_cast<std::size_t>(g.degree(v)) + 1, 0.0);
+  // Flat alpha/beta arenas in closed-neighborhood slot order: node i owns
+  // [base[i], base[i] + deg(i)] — slot 0 is i itself, slot 1+s its s-th
+  // sorted neighbor. base[i] = i + (sum of degrees of nodes < i).
+  std::vector<std::size_t> adj_prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    adj_prefix[i + 1] =
+        adj_prefix[i] + static_cast<std::size_t>(g.degree(static_cast<NodeId>(i)));
   }
-  // Slot of neighbor j within node i's closed neighborhood (j != i).
-  const auto slot_of = [&g](NodeId i, NodeId j) -> std::size_t {
-    const auto nbrs = g.neighbors(i);
-    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), j);
-    assert(it != nbrs.end() && *it == j);
-    return 1 + static_cast<std::size_t>(it - nbrs.begin());
+  const auto base = [&adj_prefix](std::size_t i) {
+    return i + adj_prefix[i];
   };
+  std::vector<double> alpha(n + adj_prefix[n], 0.0);
+  std::vector<double> beta(n + adj_prefix[n], 0.0);
+
+  // Reverse slots: for the directed edge at position e = adj_prefix[v] + s
+  // (v's s-th neighbor w), rev_slot[e] is v's position inside w's adjacency
+  // row. One counting sweep: scanning v ascending, v is appended to each
+  // neighbor w's row in sorted order, so v's position in w's row equals the
+  // number of smaller neighbors of w seen so far.
+  std::vector<std::uint32_t> rev_slot(adj_prefix[n]);
+  {
+    std::vector<std::uint32_t> cursor(n, 0);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      std::size_t e = adj_prefix[static_cast<std::size_t>(v)];
+      for (const NodeId w : g.neighbors(v)) {
+        rev_slot[e++] = cursor[static_cast<std::size_t>(w)]++;
+      }
+    }
+  }
+
+  const BlockRunner runner(n, options.threads, options.parallel_block);
+  std::vector<double> block_ratio(runner.blocks(), 0.0);
 
   for (int p = t - 1; p >= 0; --p) {
     for (int q = t - 1; q >= 0; --q) {
+      const auto pe = static_cast<std::size_t>(p);
+      const auto qe = static_cast<std::size_t>(q);
       // Lines 5-8: x-update (plus Lemma 4.1 audit), all nodes in lockstep.
-      for (std::size_t i = 0; i < n; ++i) {
-        const double threshold = std::pow(d1v[i], static_cast<double>(p) / t);
-        const double increment =
-            std::pow(d1v[i], -static_cast<double>(q) / t);
-        const double lemma41_bound =
-            std::pow(d1v[i], static_cast<double>(p + 1) / t);
-        x_plus[i] = 0.0;
-        if (x[i] < 1.0) {
-          result.max_lemma41_ratio =
-              std::max(result.max_lemma41_ratio,
-                       static_cast<double>(dyn_deg[i]) / lemma41_bound);
-          if (static_cast<double>(dyn_deg[i]) >= threshold) {
-            x_plus[i] = std::min(increment, 1.0 - x[i]);
-            x[i] += x_plus[i];
+      // Each node touches only its own x/x_plus/wire slots; the Lemma 4.1
+      // ratio reduces into the task's block slot and is merged below.
+      runner.run([&](std::size_t first, std::size_t last, std::size_t b) {
+        double ratio = 0.0;
+        for (std::size_t i = first; i < last; ++i) {
+          const std::size_t row_pos = row_stride_pos * i;
+          const std::size_t row_neg = row_stride_neg * i;
+          const double threshold = pos_pow[row_pos + pe];
+          const double lemma41_bound = pos_pow[row_pos + pe + 1];
+          x_plus[i] = 0.0;
+          if (x[i] < 1.0) {
+            ratio = std::max(ratio,
+                             static_cast<double>(dyn_deg[i]) / lemma41_bound);
+            if (static_cast<double>(dyn_deg[i]) >= threshold) {
+              x_plus[i] = std::min(neg_pow[row_neg + qe], 1.0 - x[i]);
+              x[i] += x_plus[i];
+            }
+          }
+          x_plus_wire[i] = transmit(x_plus[i], quantize);
+        }
+        block_ratio[b] = ratio;
+      });
+      for (std::size_t b = 0; b < runner.blocks(); ++b) {
+        result.max_lemma41_ratio =
+            std::max(result.max_lemma41_ratio, block_ratio[b]);
+      }
+
+      // Lines 10-21: dual bookkeeping and coloring at white nodes. Node i
+      // writes c/alpha/beta/white/y slots it owns and reads only x_plus
+      // values fixed by the previous loop's barrier.
+      runner.run([&](std::size_t first, std::size_t last, std::size_t) {
+        for (std::size_t i = first; i < last; ++i) {
+          if (!white[i]) continue;
+          const double inv_dp = neg_pow[row_stride_neg * i + pe];
+          const NodeId v = static_cast<NodeId>(i);
+          double c_plus = x_plus[i];  // own increase, known exactly
+          for (NodeId w : g.neighbors(v)) {
+            c_plus += x_plus_wire[static_cast<std::size_t>(w)];
+          }
+          const double k_i = static_cast<double>(demands[i]);
+          const double lambda =
+              c_plus > 0.0 ? std::min(1.0, (k_i - c[i]) / c_plus) : 1.0;
+          c[i] += c_plus;
+          double* const alpha_i = alpha.data() + base(i);
+          double* const beta_i = beta.data() + base(i);
+          alpha_i[0] += lambda * x_plus[i];
+          beta_i[0] += lambda * x_plus[i] * inv_dp;
+          std::size_t slot = 1;
+          for (NodeId w : g.neighbors(v)) {
+            const double xj = x_plus_wire[static_cast<std::size_t>(w)];
+            alpha_i[slot] += lambda * xj;
+            beta_i[slot] += lambda * xj * inv_dp;
+            ++slot;
+          }
+          if (c[i] + kCoverageEps >= k_i) {
+            white[i] = 0;
+            result.dual.y[i] = inv_dp;
           }
         }
-        x_plus_wire[i] = transmit(x_plus[i], quantize);
-      }
+      });
 
-      // Lines 10-21: dual bookkeeping and coloring at white nodes.
-      for (NodeId v = 0; v < g.n(); ++v) {
-        const auto i = static_cast<std::size_t>(v);
-        if (!white[i]) continue;
-        const double inv_dp = std::pow(d1v[i], -static_cast<double>(p) / t);
-        double c_plus = x_plus[i];  // own increase, known exactly
-        for (NodeId w : g.neighbors(v)) {
-          c_plus += x_plus_wire[static_cast<std::size_t>(w)];
+      // Lines 23-24: exchange colors, recompute dynamic degrees (reads the
+      // white[] snapshot the previous barrier fixed).
+      runner.run([&](std::size_t first, std::size_t last, std::size_t) {
+        for (std::size_t i = first; i < last; ++i) {
+          const NodeId v = static_cast<NodeId>(i);
+          std::int32_t deg = white[i] ? 1 : 0;
+          for (NodeId w : g.neighbors(v)) {
+            deg += white[static_cast<std::size_t>(w)] ? 1 : 0;
+          }
+          dyn_deg[i] = deg;
         }
-        const double k_i = static_cast<double>(demands[i]);
-        const double lambda =
-            c_plus > 0.0 ? std::min(1.0, (k_i - c[i]) / c_plus) : 1.0;
-        c[i] += c_plus;
-        alpha[i][0] += lambda * x_plus[i];
-        beta[i][0] += lambda * x_plus[i] * inv_dp;
-        std::size_t slot = 1;
-        for (NodeId w : g.neighbors(v)) {
-          const double xj = x_plus_wire[static_cast<std::size_t>(w)];
-          alpha[i][slot] += lambda * xj;
-          beta[i][slot] += lambda * xj * inv_dp;
-          ++slot;
-        }
-        if (c[i] + kCoverageEps >= k_i) {
-          white[i] = 0;
-          result.dual.y[i] = inv_dp;
-        }
-      }
-
-      // Lines 23-24: exchange colors, recompute dynamic degrees.
-      for (NodeId v = 0; v < g.n(); ++v) {
-        const auto i = static_cast<std::size_t>(v);
-        std::int32_t deg = white[i] ? 1 : 0;
-        for (NodeId w : g.neighbors(v)) {
-          deg += white[static_cast<std::size_t>(w)] ? 1 : 0;
-        }
-        dyn_deg[i] = deg;
-      }
+      });
     }
   }
 
   // Line 27: z_i = Σ_{j∈N_i} (α_{i,j}·y_j − β_{i,j}). α_{i,j} lives at node
-  // j (in i's slot); in the distributed version j sends the share across the
-  // edge, so neighbor shares are quantized like any other message.
-  for (NodeId v = 0; v < g.n(); ++v) {
-    const auto i = static_cast<std::size_t>(v);
-    double z = alpha[i][0] * result.dual.y[i] - beta[i][0];  // j = i
-    for (NodeId w : g.neighbors(v)) {
-      const auto j = static_cast<std::size_t>(w);
-      const std::size_t slot = slot_of(w, v);
-      const double share = alpha[j][slot] * result.dual.y[j] - beta[j][slot];
-      z += transmit(share, quantize);
+  // j (in i's slot — rev_slot gives it without a binary search); in the
+  // distributed version j sends the share across the edge, so neighbor
+  // shares are quantized like any other message.
+  runner.run([&](std::size_t first, std::size_t last, std::size_t) {
+    for (std::size_t i = first; i < last; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      double z = alpha[base(i)] * result.dual.y[i] - beta[base(i)];  // j = i
+      std::size_t e = adj_prefix[i];
+      for (NodeId w : g.neighbors(v)) {
+        const auto j = static_cast<std::size_t>(w);
+        const std::size_t slot = base(j) + 1 + rev_slot[e++];
+        const double share = alpha[slot] * result.dual.y[j] - beta[slot];
+        z += transmit(share, quantize);
+      }
+      result.dual.z[i] = z;
     }
-    result.dual.z[i] = z;
-  }
+  });
 
   return result;
 }

@@ -59,6 +59,19 @@ struct LpOptions {
   /// Degree knowledge model (see DegreeKnowledge). kTwoHop adds 2 warm-up
   /// rounds in the distributed implementation.
   DegreeKnowledge degree_knowledge = DegreeKnowledge::kGlobal;
+
+  /// ThreadPool width for the mirror's per-phase node loops (1 = fully
+  /// sequential, no pool). The solver's output is bitwise identical at any
+  /// width: every loop writes only node-owned state between barriers, the
+  /// node-block decomposition is independent of the thread count, and the
+  /// single reduction (Lemma 4.1's max) merges per-block maxima in block
+  /// order (DESIGN.md §11).
+  int threads = 1;
+
+  /// Nodes per parallel task (0 = default 8192). Exposed so determinism
+  /// tests can force multi-block execution on tiny graphs; leave at 0
+  /// otherwise.
+  int parallel_block = 0;
 };
 
 /// Everything Algorithm 1 produces, plus audit data for experiment E10.
@@ -99,10 +112,20 @@ inline constexpr double kCoverageEps = 1e-6;
 /// 2-hop neighborhood — what the kTwoHop warm-up computes distributively.
 [[nodiscard]] std::vector<double> two_hop_d1(const graph::Graph& g);
 
-/// Runs the centralized mirror of Algorithm 1.
+/// Runs the centralized mirror of Algorithm 1 (optimized: precomputed
+/// power tables, flat CSR-indexed alpha/beta arenas, optionally
+/// pool-parallel phase loops — see lp_kmds.cpp).
 /// Preconditions: demands.size() == g.n(), t >= 1.
 [[nodiscard]] LpResult solve_fractional_kmds(const graph::Graph& g,
                                              const domination::Demands& demands,
                                              const LpOptions& options = {});
+
+/// The pre-optimization solver kept verbatim (lp_kmds_reference.cpp) as
+/// the correctness anchor and benchmark baseline: solve_fractional_kmds
+/// must match it bitwise (options.threads/parallel_block are ignored — the
+/// reference is always sequential).
+[[nodiscard]] LpResult solve_fractional_kmds_reference(
+    const graph::Graph& g, const domination::Demands& demands,
+    const LpOptions& options = {});
 
 }  // namespace ftc::algo

@@ -11,33 +11,39 @@ namespace ftc::algo {
 using domination::Demands;
 using graph::NodeId;
 
-RoundingResult round_fractional(const graph::Graph& g,
-                                const domination::FractionalSolution& x,
-                                const Demands& demands, std::uint64_t seed) {
+void round_fractional(const graph::Graph& g,
+                      const domination::FractionalSolution& x,
+                      const Demands& demands, std::uint64_t seed,
+                      RoundingScratch& scratch, RoundingResult& out) {
   assert(static_cast<NodeId>(x.x.size()) == g.n());
   assert(static_cast<NodeId>(demands.size()) == g.n());
   const auto n = static_cast<std::size_t>(g.n());
   const double ln_d1 = std::log(static_cast<double>(g.max_degree()) + 1.0);
 
-  RoundingResult result;
+  out.set.clear();
+  out.chosen_by_coin = 0;
+  out.chosen_by_request = 0;
+  out.rounds = 3;
+  scratch.in_set.assign(n, 0);
+  scratch.requested.assign(n, 0);
+  std::vector<std::uint8_t>& in_set = scratch.in_set;
+  std::vector<std::uint8_t>& requested = scratch.requested;
 
   // Line 1-2: independent coins, one per node, from the node's own stream
   // (identical to what the simulator hands each process).
-  std::vector<std::uint8_t> in_set(n, 0);
   const util::Rng root(seed);
   for (std::size_t i = 0; i < n; ++i) {
     util::Rng node_rng = root.split(i);
     const double p = std::min(1.0, x.x[i] * ln_d1);
     if (node_rng.bernoulli(p)) {
       in_set[i] = 1;
-      ++result.chosen_by_coin;
+      ++out.chosen_by_coin;
     }
   }
 
   // Lines 4-6: every deficient node requests its shortfall, reading only the
   // coin-phase choices (the synchronous semantics: all requests are decided
   // against the same snapshot).
-  std::vector<std::uint8_t> requested(n, 0);
   for (NodeId v = 0; v < g.n(); ++v) {
     const auto i = static_cast<std::size_t>(v);
     std::int32_t coverage = in_set[i];
@@ -65,13 +71,21 @@ RoundingResult round_fractional(const graph::Graph& g,
   for (std::size_t i = 0; i < n; ++i) {
     if (requested[i] && !in_set[i]) {
       in_set[i] = 1;
-      ++result.chosen_by_request;
+      ++out.chosen_by_request;
     }
   }
 
   for (std::size_t i = 0; i < n; ++i) {
-    if (in_set[i]) result.set.push_back(static_cast<NodeId>(i));
+    if (in_set[i]) out.set.push_back(static_cast<NodeId>(i));
   }
+}
+
+RoundingResult round_fractional(const graph::Graph& g,
+                                const domination::FractionalSolution& x,
+                                const Demands& demands, std::uint64_t seed) {
+  RoundingScratch scratch;
+  RoundingResult result;
+  round_fractional(g, x, demands, seed, scratch, result);
   return result;
 }
 
@@ -79,12 +93,18 @@ RoundingResult round_fractional_best_of(
     const graph::Graph& g, const domination::FractionalSolution& x,
     const Demands& demands, std::uint64_t seed, int trials) {
   assert(trials >= 1);
-  RoundingResult best = round_fractional(g, x, demands, seed);
+  // One scratch and two result buffers for the whole trial loop: after the
+  // first couple of trials every buffer has reached its high-water size and
+  // the per-trial work allocates nothing.
+  RoundingScratch scratch;
+  RoundingResult best, candidate;
+  round_fractional(g, x, demands, seed, scratch, best);
   for (int trial = 1; trial < trials; ++trial) {
-    RoundingResult candidate = round_fractional(
-        g, x, demands, seed + static_cast<std::uint64_t>(trial));
+    round_fractional(g, x, demands,
+                     seed + static_cast<std::uint64_t>(trial), scratch,
+                     candidate);
     if (candidate.set.size() < best.set.size()) {
-      best = std::move(candidate);
+      std::swap(best, candidate);
     }
   }
   best.rounds = 3 * trials;

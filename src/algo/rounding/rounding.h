@@ -40,6 +40,14 @@ struct RoundingResult {
   std::int64_t rounds = 3;
 };
 
+/// Reusable buffers for the no-alloc rounding overload. A scratch reused
+/// across trials reaches a zero-allocation steady state (the buffers grow
+/// to the largest instance seen and stay put).
+struct RoundingScratch {
+  std::vector<std::uint8_t> in_set;
+  std::vector<std::uint8_t> requested;
+};
+
 /// Rounds the fractional solution `x` into an integral k-fold dominating
 /// set. `seed` must equal the SyncNetwork seed for mirror/simulator
 /// equality. Preconditions: x.x.size() == g.n() == demands.size().
@@ -47,12 +55,24 @@ struct RoundingResult {
     const graph::Graph& g, const domination::FractionalSolution& x,
     const domination::Demands& demands, std::uint64_t seed);
 
+/// No-alloc variant: writes the result into `out` (set cleared and refilled,
+/// counters reset) using caller-owned scratch. Identical output to
+/// round_fractional — the value-returning overload delegates here. In
+/// steady state (scratch and out reused, instance size not growing) the
+/// call performs zero heap allocations.
+void round_fractional(const graph::Graph& g,
+                      const domination::FractionalSolution& x,
+                      const domination::Demands& demands, std::uint64_t seed,
+                      RoundingScratch& scratch, RoundingResult& out);
+
 /// Best-of-N rounding: Theorem 4.6 bounds the set size only in
 /// expectation, so practical deployments re-draw the coins a few times and
 /// keep the smallest result (each trial is 3 rounds; trials can also run
 /// concurrently on disjoint seed ranges). Returns the best of
 /// round_fractional(g, x, demands, seed), ..., (seed + trials - 1).
-/// Precondition: trials >= 1.
+/// Precondition: trials >= 1. The trial loop reuses one scratch and two
+/// result buffers, so steady-state trials allocate nothing
+/// (bench_algo_kernels records allocs/trial ≈ 0).
 [[nodiscard]] RoundingResult round_fractional_best_of(
     const graph::Graph& g, const domination::FractionalSolution& x,
     const domination::Demands& demands, std::uint64_t seed, int trials);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "domination/kernels.h"
+
 namespace ftc::domination {
 
 using graph::NodeId;
@@ -46,20 +48,12 @@ std::vector<NodeId> to_node_list(std::span<const std::uint8_t> members) {
 
 std::int64_t deficiency(const graph::Graph& g, std::span<const NodeId> set,
                         const Demands& demands, Mode mode) {
-  assert(static_cast<NodeId>(demands.size()) == g.n());
-  const auto members = to_membership(g, set);
-  const auto cover = closed_coverage_counts(g, members);
-  std::int64_t total = 0;
-  for (NodeId v = 0; v < g.n(); ++v) {
-    const auto idx = static_cast<std::size_t>(v);
-    std::int32_t achieved = cover[idx];
-    if (mode == Mode::kOpenForNonMembers) {
-      if (members[idx]) continue;  // members have no requirement
-      // For non-members, closed == open coverage.
-    }
-    total += std::max<std::int32_t>(0, demands[idx] - achieved);
-  }
-  return total;
+  // Convenience wrapper over the packed kernels (kernels.h); hot callers
+  // hold a CoverageScratch and use the no-alloc overload directly. The
+  // packed path is property-tested equal to the scalar composition
+  // to_membership + closed_coverage_counts + shortfall accumulation.
+  CoverageScratch scratch;
+  return deficiency(g, set, demands, mode, scratch);
 }
 
 bool is_k_dominating(const graph::Graph& g, std::span<const NodeId> set,

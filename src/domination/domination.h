@@ -37,7 +37,9 @@ enum class Mode {
 [[nodiscard]] Demands uniform_demands(graph::NodeId n, std::int32_t k);
 
 /// For every node i, the number of set members in its closed neighborhood
-/// N_i = {i} ∪ neighbors(i). `members[v]` marks membership.
+/// N_i = {i} ∪ neighbors(i). `members[v]` marks membership. This is the
+/// scalar reference implementation; the word-packed kernels in kernels.h
+/// are property-tested bitwise-equal to it and are what hot paths use.
 [[nodiscard]] std::vector<std::int32_t> closed_coverage_counts(
     const graph::Graph& g, std::span<const std::uint8_t> members);
 
@@ -62,7 +64,9 @@ enum class Mode {
                                    Mode mode = Mode::kClosedNeighborhood);
 
 /// Total shortfall Σ_i max(0, required_i - achieved_i) of `set` w.r.t. the
-/// demands under `mode`. Zero iff is_k_dominating.
+/// demands under `mode`. Zero iff is_k_dominating. Allocates a packed
+/// membership per call; callers in loops should hold a CoverageScratch and
+/// use the no-alloc overload in kernels.h instead.
 [[nodiscard]] std::int64_t deficiency(const graph::Graph& g,
                                       std::span<const graph::NodeId> set,
                                       const Demands& demands,

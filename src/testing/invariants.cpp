@@ -16,6 +16,8 @@
 #include "algo/udg/udg_kmds_process.h"
 #include "domination/bounds.h"
 #include "domination/fractional.h"
+#include "domination/kernels.h"
+#include "util/rng.h"
 #include "obs/plane.h"
 #include "sim/async.h"
 #include "sim/fault.h"
@@ -46,8 +48,10 @@ std::string fmt(double v) {
 // ---------------------------------------------------------------- LP + rounding
 
 void check_rounding_result(const Graph& g, const Demands& demands,
-                           const algo::RoundingResult& r, Violations& out) {
-  check_coverage_invariant(g, demands, r.set, "rounding", out);
+                           const algo::RoundingResult& r,
+                           domination::CoverageScratch& scratch,
+                           Violations& out) {
+  check_coverage_invariant(g, demands, r.set, "rounding", out, scratch);
   if (!std::is_sorted(r.set.begin(), r.set.end()) ||
       std::adjacent_find(r.set.begin(), r.set.end()) != r.set.end()) {
     add(out, "rounding.set_canonical", "set not sorted/unique");
@@ -215,6 +219,7 @@ void check_differential(const FuzzCase& c, const Graph& g,
 void check_small_oracles(const FuzzCase& /*c*/, const Graph& g,
                          const Demands& demands, const algo::LpResult& lp,
                          const algo::RoundingResult& rounding,
+                         domination::CoverageScratch& scratch,
                          Violations& out) {
   algo::ExactOptions eopts;
   eopts.node_budget = 300'000;
@@ -226,8 +231,10 @@ void check_small_oracles(const FuzzCase& /*c*/, const Graph& g,
         "exact solver declared a clamped instance infeasible");
     return;
   }
-  check_coverage_invariant(g, demands, exact.set, "oracle.exact", out);
-  check_coverage_invariant(g, demands, greedy.set, "oracle.greedy", out);
+  check_coverage_invariant(g, demands, exact.set, "oracle.exact", out,
+                           scratch);
+  check_coverage_invariant(g, demands, greedy.set, "oracle.greedy", out,
+                           scratch);
   if (!exact.optimal) return;  // budget exhausted: orderings not guaranteed
 
   const auto opt = static_cast<double>(exact.set.size());
@@ -304,23 +311,27 @@ void check_async(const FuzzCase& c, const Graph& g, const Demands& demands,
 // ------------------------------------------------------------------- UDG
 
 void check_udg(const FuzzCase& c, const geom::UnitDiskGraph& udg,
-               Violations& out) {
+               domination::CoverageScratch& scratch, Violations& out) {
   const Graph& g = udg.graph;
   algo::UdgOptions opts;
   opts.k = c.k;
   const auto mirror = algo::solve_udg_kmds(udg, opts, c.algo_seed);
 
   // Lemma 5.1: Part-I leaders form an ordinary dominating set.
-  if (!domination::is_k_dominating(g, mirror.part1_leaders, 1,
-                                   domination::Mode::kOpenForNonMembers)) {
+  if (!domination::is_k_dominating(g, mirror.part1_leaders,
+                                   domination::uniform_demands(g.n(), 1),
+                                   domination::Mode::kOpenForNonMembers,
+                                   scratch)) {
     add(out, "udg.part1_dominates",
         "Part-I leaders are not a dominating set");
   }
   // Theorem 5.7: the extended set k-covers every non-member (paper
   // definition) whenever the instance was satisfiable.
   if (mirror.fully_satisfied &&
-      !domination::is_k_dominating(g, mirror.leaders, c.k,
-                                   domination::Mode::kOpenForNonMembers)) {
+      !domination::is_k_dominating(g, mirror.leaders,
+                                   domination::uniform_demands(g.n(), c.k),
+                                   domination::Mode::kOpenForNonMembers,
+                                   scratch)) {
     add(out, "udg.coverage",
         "Algorithm 3 output misses open-mode k-coverage (k=" +
             std::to_string(c.k) + ")");
@@ -456,7 +467,8 @@ RepairRun run_repair(const FuzzCase& c, const Instance& inst,
   return run;
 }
 
-void check_repair(const FuzzCase& c, const Instance& inst, Violations& out) {
+void check_repair(const FuzzCase& c, const Instance& inst,
+                  domination::CoverageScratch& scratch, Violations& out) {
   const Graph& g = inst.graph();
   const Demands& demands = inst.demands;
   const auto base = algo::greedy_kmds(g, demands).set;
@@ -487,7 +499,9 @@ void check_repair(const FuzzCase& c, const Instance& inst, Violations& out) {
   const Graph live = g.without_nodes(failed);
   auto live_demands = domination::clamp_demands(live, demands);
   for (NodeId f : failed) live_demands[static_cast<std::size_t>(f)] = 0;
-  if (!domination::is_k_dominating(live, serial.final_set, live_demands)) {
+  if (!domination::is_k_dominating(live, serial.final_set, live_demands,
+                                   domination::Mode::kClosedNeighborhood,
+                                   scratch)) {
     add(out, "repair.coverage",
         "self-healed set misses live demands after " +
             std::to_string(failed.size()) + " crashes");
@@ -621,6 +635,108 @@ void check_transport(const FuzzCase& c, const Graph& g, Violations& out) {
   }
 }
 
+// ---------------------------------------------------------------- kernels
+
+/// Returns true iff two LpResults are bitwise-identical in every field the
+/// solver contract covers.
+bool lp_results_equal(const algo::LpResult& a, const algo::LpResult& b) {
+  return a.primal.x == b.primal.x && a.dual.y == b.dual.y &&
+         a.dual.z == b.dual.z && a.kappa == b.kappa && a.rounds == b.rounds &&
+         a.max_lemma41_ratio == b.max_lemma41_ratio;
+}
+
+/// kernel.* invariants: the packed coverage/deficiency kernels (kernels.h)
+/// must agree exactly with the scalar references in domination.h, and the
+/// optimized LP solver must reproduce the kept reference solver bitwise at
+/// every thread width (the same contract the simulator's parallel round
+/// engine ships). Runs on every case — the kernels are now what the rest of
+/// the invariant battery itself computes with.
+void check_kernels(const FuzzCase& c, const Graph& g, const Demands& demands,
+                   const algo::LpResult& lp, const algo::RoundingResult& r,
+                   domination::CoverageScratch& scratch, Violations& out) {
+  const auto n = static_cast<std::size_t>(g.n());
+
+  // Packed vs scalar over a membership bitmap: coverage counts, fused
+  // deficiency, and the node-list scratch overload, in both modes.
+  const auto check_membership = [&](const std::vector<std::uint8_t>& members,
+                                    const char* which) {
+    const auto ref_cover = domination::closed_coverage_counts(g, members);
+    domination::MembershipBits bits;
+    bits.assign(members);
+    std::vector<std::int32_t> packed_cover(n, 0);
+    domination::closed_coverage_counts(g, bits, packed_cover);
+    if (ref_cover != packed_cover) {
+      add(out, "kernel.coverage_equiv",
+          std::string("packed coverage counts != scalar reference (") +
+              which + ")");
+    }
+    const auto set = domination::to_node_list(members);
+    for (const auto mode : {domination::Mode::kClosedNeighborhood,
+                            domination::Mode::kOpenForNonMembers}) {
+      std::int64_t ref_def = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mode == domination::Mode::kOpenForNonMembers && members[i]) {
+          continue;
+        }
+        ref_def += std::max<std::int32_t>(
+            0, demands[i] - ref_cover[i]);
+      }
+      if (domination::deficiency(g, bits, demands, mode) != ref_def) {
+        add(out, "kernel.deficiency_equiv",
+            std::string("fused packed deficiency != scalar (") + which + ")");
+      }
+      if (domination::deficiency(g, set, demands, mode, scratch) != ref_def) {
+        add(out, "kernel.deficiency_equiv",
+            std::string("scratch deficiency != scalar (") + which + ")");
+      }
+    }
+  };
+  // The rounding set is dominating-set-shaped (sparse → scatter kernel);
+  // the hashed membership is ~50% dense (gather kernel). Both paths must
+  // agree with the reference on every topology family.
+  check_membership(domination::to_membership(g, r.set), "rounding_set");
+  std::vector<std::uint8_t> dense(n, 0);
+  std::uint64_t hash_state = c.case_seed ^ 0xA076'1D64'78BD'642FULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    dense[i] = static_cast<std::uint8_t>(util::splitmix64(hash_state) & 1);
+  }
+  check_membership(dense, "hashed_dense");
+
+  // Optimized LP == kept reference, sequentially and at forced-parallel
+  // widths (parallel_block=2 makes even fuzz-sized graphs span many
+  // blocks). Output must be bitwise identical in every case.
+  algo::LpOptions opts;
+  opts.t = c.t;
+  const algo::LpResult ref = solve_fractional_kmds_reference(g, demands, opts);
+  if (!lp_results_equal(ref, lp)) {
+    add(out, "kernel.lp_reference_equiv",
+        "optimized LP solver != reference solver");
+  }
+  opts.parallel_block = 2;
+  for (const int width : {2, c.threads}) {
+    if (width <= 1) continue;
+    opts.threads = width;
+    const algo::LpResult par = algo::solve_fractional_kmds(g, demands, opts);
+    if (!lp_results_equal(par, lp)) {
+      add(out, "kernel.lp_width",
+          "parallel LP solve differs at threads=" + std::to_string(width));
+    }
+    if (width == c.threads) break;  // c.threads == 2: single iteration
+  }
+
+  // The per-node power-table rows (kTwoHop) must match the reference too.
+  algo::LpOptions th_opts;
+  th_opts.t = c.t;
+  th_opts.degree_knowledge = algo::DegreeKnowledge::kTwoHop;
+  const algo::LpResult th_ref =
+      solve_fractional_kmds_reference(g, demands, th_opts);
+  const algo::LpResult th_opt = algo::solve_fractional_kmds(g, demands, th_opts);
+  if (!lp_results_equal(th_ref, th_opt)) {
+    add(out, "kernel.lp_twohop_equiv",
+        "optimized two-hop LP solver != reference solver");
+  }
+}
+
 // -------------------------------------------------------------------- obs
 
 void check_obs(const FuzzCase& c, const Graph& g, const Demands& demands,
@@ -660,7 +776,16 @@ void check_obs(const FuzzCase& c, const Graph& g, const Demands& demands,
 void check_coverage_invariant(const Graph& g, const Demands& demands,
                               const std::vector<NodeId>& set, const char* who,
                               Violations& out) {
-  const auto deficit = domination::deficiency(g, set, demands);
+  domination::CoverageScratch scratch;
+  check_coverage_invariant(g, demands, set, who, out, scratch);
+}
+
+void check_coverage_invariant(const Graph& g, const Demands& demands,
+                              const std::vector<NodeId>& set, const char* who,
+                              Violations& out,
+                              domination::CoverageScratch& scratch) {
+  const auto deficit = domination::deficiency(
+      g, set, demands, domination::Mode::kClosedNeighborhood, scratch);
   if (deficit != 0) {
     add(out, (std::string(who) + ".coverage").c_str(),
         "total coverage shortfall " + std::to_string(deficit) + " with |set|=" +
@@ -707,6 +832,10 @@ Violations check_case(const FuzzCase& c, Mutation mutation) {
   const Graph& g = inst.graph();
   const Demands& demands = inst.demands;
 
+  // One coverage scratch per case: every k-coverage check below reuses it,
+  // so the whole battery's coverage work allocates only on high-water growth.
+  domination::CoverageScratch scratch;
+
   // Mandatory battery: Algorithm 1 + Algorithm 2 mirrors.
   algo::LpOptions lp_opts;
   lp_opts.t = c.t;
@@ -715,10 +844,14 @@ Violations check_case(const FuzzCase& c, Mutation mutation) {
 
   const algo::RoundingResult rounding = round_fractional_mutant(
       g, lp.primal, demands, c.algo_seed, mutation);
-  check_rounding_result(g, demands, rounding, out);
+  check_rounding_result(g, demands, rounding, scratch, out);
+
+  // Mandatory kernel battery: packed kernels == scalar references, optimized
+  // LP == reference LP at every thread width (DESIGN.md §11).
+  check_kernels(c, g, demands, lp, rounding, scratch, out);
 
   if (c.run_small_oracles) {
-    check_small_oracles(c, g, demands, lp, rounding, out);
+    check_small_oracles(c, g, demands, lp, rounding, scratch, out);
   }
   if (c.run_differential) {
     check_differential(c, g, demands, lp, rounding, out);
@@ -727,10 +860,10 @@ Violations check_case(const FuzzCase& c, Mutation mutation) {
     check_async(c, g, demands, lp, rounding, out);
   }
   if (inst.has_udg) {
-    check_udg(c, inst.udg, out);
+    check_udg(c, inst.udg, scratch, out);
   }
   if (c.fault_kind != FaultKind::kNone) {
-    check_repair(c, inst, out);
+    check_repair(c, inst, scratch, out);
   }
   if (c.run_transport) {
     check_transport(c, g, out);

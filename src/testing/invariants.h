@@ -36,6 +36,7 @@
 
 #include "algo/lp/lp_kmds.h"
 #include "domination/domination.h"
+#include "domination/kernels.h"
 #include "graph/graph.h"
 #include "testing/generators.h"
 #include "testing/mutants.h"
@@ -73,5 +74,14 @@ void check_coverage_invariant(const graph::Graph& g,
                               const domination::Demands& demands,
                               const std::vector<graph::NodeId>& set,
                               const char* who, Violations& out);
+
+/// No-alloc variant: same check routed through the packed coverage kernels
+/// (domination/kernels.h) with caller-owned scratch — what check_case uses
+/// for every coverage check in a case.
+void check_coverage_invariant(const graph::Graph& g,
+                              const domination::Demands& demands,
+                              const std::vector<graph::NodeId>& set,
+                              const char* who, Violations& out,
+                              domination::CoverageScratch& scratch);
 
 }  // namespace ftc::testing

@@ -1,0 +1,128 @@
+// Determinism and reference-equality contract of the optimized LP mirror
+// (lp_kmds.cpp): the solver's output is bitwise identical at thread widths
+// {1, 2, 4, 8} — forced multi-block via the parallel_block test knob so even
+// unit-test-sized graphs exercise real work division — and always matches
+// the kept pre-optimization solver (lp_kmds_reference.cpp) exactly.
+// DESIGN.md §11.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/lp/lp_kmds.h"
+#include "domination/domination.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::algo {
+namespace {
+
+using domination::Demands;
+using graph::Graph;
+
+void expect_bitwise_equal(const LpResult& a, const LpResult& b,
+                          const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.primal.x, b.primal.x);
+  EXPECT_EQ(a.dual.y, b.dual.y);
+  EXPECT_EQ(a.dual.z, b.dual.z);
+  EXPECT_EQ(a.kappa, b.kappa);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.max_lemma41_ratio, b.max_lemma41_ratio);
+}
+
+Demands mixed_demands(const Graph& g, std::uint64_t seed) {
+  Demands d(static_cast<std::size_t>(g.n()), 1);
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto cap = static_cast<std::int32_t>(
+        g.degree(static_cast<graph::NodeId>(i)) + 1);
+    d[i] = 1 + static_cast<std::int32_t>(util::splitmix64(state) % 3);
+    if (d[i] > cap) d[i] = cap;
+  }
+  return d;
+}
+
+TEST(LpParallel, BitwiseIdenticalAtWidths1248) {
+  util::Rng rng(42);
+  const Graph g = graph::gnp(240, 0.04, rng);
+  const Demands demands = mixed_demands(g, 99);
+  for (const int t : {1, 2, 4}) {
+    for (const auto dk : {DegreeKnowledge::kGlobal, DegreeKnowledge::kTwoHop}) {
+      LpOptions opts;
+      opts.t = t;
+      opts.degree_knowledge = dk;
+      const LpResult serial = solve_fractional_kmds(g, demands, opts);
+      opts.parallel_block = 16;  // force many blocks at this size
+      for (const int width : {1, 2, 4, 8}) {
+        opts.threads = width;
+        const LpResult parallel = solve_fractional_kmds(g, demands, opts);
+        expect_bitwise_equal(serial, parallel, "width sweep");
+      }
+    }
+  }
+}
+
+TEST(LpParallel, BlockSizeUnobservable) {
+  // The block decomposition is a scheduling detail: any block size must
+  // yield the same bits, parallel or not.
+  util::Rng rng(7);
+  const Graph g = graph::barabasi_albert(150, 3, rng);
+  const Demands demands = mixed_demands(g, 3);
+  LpOptions opts;
+  opts.t = 3;
+  const LpResult baseline = solve_fractional_kmds(g, demands, opts);
+  for (const int block : {1, 7, 64, 1 << 20}) {
+    opts.parallel_block = block;
+    for (const int width : {1, 4}) {
+      opts.threads = width;
+      const LpResult got = solve_fractional_kmds(g, demands, opts);
+      expect_bitwise_equal(baseline, got, "block sweep");
+    }
+  }
+}
+
+TEST(LpParallel, OptimizedMatchesReferenceSolver) {
+  util::Rng rng(5);
+  const std::vector<Graph> graphs = {
+      graph::gnp(120, 0.08, rng), graph::grid(9, 13), graph::star(64),
+      graph::complete(40), graph::random_tree(90, rng)};
+  for (const Graph& g : graphs) {
+    const Demands demands = mixed_demands(g, 17);
+    for (const int t : {1, 3}) {
+      for (const auto dk :
+           {DegreeKnowledge::kGlobal, DegreeKnowledge::kTwoHop}) {
+        for (const bool quantize : {true, false}) {
+          LpOptions opts;
+          opts.t = t;
+          opts.degree_knowledge = dk;
+          opts.quantize_messages = quantize;
+          const LpResult ref = solve_fractional_kmds_reference(g, demands, opts);
+          const LpResult seq = solve_fractional_kmds(g, demands, opts);
+          expect_bitwise_equal(ref, seq, "sequential vs reference");
+          opts.threads = 8;
+          opts.parallel_block = 32;
+          const LpResult par = solve_fractional_kmds(g, demands, opts);
+          expect_bitwise_equal(ref, par, "parallel vs reference");
+        }
+      }
+    }
+  }
+}
+
+TEST(LpParallel, TinyGraphsAnyWidth) {
+  // Degenerate sizes: fewer nodes than blocks, n == 1, n == 2.
+  for (const int n : {1, 2, 3}) {
+    const Graph g = graph::path(n);
+    const Demands demands(static_cast<std::size_t>(n), 1);
+    LpOptions opts;
+    opts.t = 2;
+    const LpResult serial = solve_fractional_kmds(g, demands, opts);
+    opts.threads = 8;
+    opts.parallel_block = 1;
+    const LpResult parallel = solve_fractional_kmds(g, demands, opts);
+    expect_bitwise_equal(serial, parallel, "tiny graph");
+  }
+}
+
+}  // namespace
+}  // namespace ftc::algo

@@ -1,0 +1,61 @@
+// LARGE-tier kernel contract: packed coverage/deficiency kernels equal the
+// scalar references at one million nodes — the scale BENCH_algo.json's
+// speedup claims are measured at. Lives in ftc_large_tests (ctest -L LARGE)
+// so the default edit-compile-test loop doesn't pay for it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "domination/domination.h"
+#include "domination/kernels.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftc::domination {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(KernelsLarge, MillionNodeGridMatchesScalar) {
+  const Graph g = graph::grid(1000, 1000);
+  const auto n = static_cast<std::size_t>(g.n());
+  ASSERT_EQ(n, 1'000'000u);
+  const Demands demands = uniform_demands(g.n(), 2);
+
+  // Sparse (~n/64, scatter path) and dense (~n/2, gather path) memberships.
+  std::vector<std::uint8_t> sparse(n, 0), dense(n, 0);
+  std::uint64_t state = 0x1000'0001ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = util::splitmix64(state);
+    sparse[i] = (r % 64 == 0) ? 1 : 0;
+    dense[i] = static_cast<std::uint8_t>(r & 1);
+  }
+
+  CoverageScratch scratch;
+  for (const auto* members : {&sparse, &dense}) {
+    const auto ref_cover = closed_coverage_counts(g, *members);
+    MembershipBits bits;
+    bits.assign(*members);
+    std::vector<std::int32_t> packed(n, -1);
+    closed_coverage_counts(g, bits, packed);
+    ASSERT_EQ(ref_cover, packed);
+
+    const auto set = to_node_list(*members);
+    for (const Mode mode :
+         {Mode::kClosedNeighborhood, Mode::kOpenForNonMembers}) {
+      std::int64_t ref_def = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mode == Mode::kOpenForNonMembers && (*members)[i]) continue;
+        ref_def += std::max<std::int32_t>(0, demands[i] - ref_cover[i]);
+      }
+      EXPECT_EQ(deficiency(g, bits, demands, mode), ref_def);
+      EXPECT_EQ(deficiency(g, set, demands, mode, scratch), ref_def);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftc::domination
