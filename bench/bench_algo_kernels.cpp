@@ -45,6 +45,7 @@
 #include "domination/domination.h"
 #include "domination/kernels.h"
 #include "geom/udg.h"
+#include "obs/perf.h"
 #include "graph/graph.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -287,6 +288,18 @@ int main(int argc, char** argv) {
           },
           min_time);
       const double speedup = opt_ps / ref_ps;
+      // One perf-attributed solve per width: LpOptions.perf points at a
+      // side PerfPlane (each (p, q) inner iteration = one perf round).
+      // Attaching the sink must not change the solution — asserted like
+      // every other optimized-vs-reference pair.
+      obs::PerfPlane lp_perf;
+      opts.perf = &lp_perf;
+      const algo::LpResult attributed =
+          algo::solve_fractional_kmds(g, demands, opts);
+      opts.perf = nullptr;
+      require(lp_equal(ref, attributed),
+              "LP divergence with perf attribution at n=" + std::to_string(n) +
+                  " threads=" + std::to_string(threads));
       out.row({"lp", util::fmt(static_cast<long long>(n)),
                "threads=" + std::to_string(threads), util::fmt(ref_ps, 3),
                util::fmt(opt_ps, 3), util::fmt(speedup, 2), "-"});
@@ -295,7 +308,9 @@ int main(int argc, char** argv) {
           ", \"threads\": " + std::to_string(threads) +
           ", \"reference_solves_per_sec\": " + util::fmt(ref_ps, 4) +
           ", \"solves_per_sec\": " + util::fmt(opt_ps, 4) +
-          ", \"speedup_vs_reference\": " + util::fmt(speedup, 3) + "}");
+          ", \"speedup_vs_reference\": " + util::fmt(speedup, 3) +
+          ", \"phase_attribution\": " +
+          bench::perf_attribution_json(lp_perf) + "}");
       if (threads == static_cast<int>(widths.front())) {
         lp_for_rounding = opt;
       }

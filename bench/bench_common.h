@@ -19,6 +19,7 @@
 
 #include "alloc_hooks.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/stats.h"
@@ -67,6 +68,34 @@ class WallClock {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// JSON object for a BENCH row's "phase_attribution" key: run-wide
+/// attribution pulled from an obs::PerfPlane after a perf-instrumented
+/// pass. "rounds" are whatever the producer called end_round for (engine
+/// rounds, LP inner iterations); phase values are mean ns per round, with
+/// all-zero phases omitted to keep rows compact. bench_check.py treats the
+/// whole block as a measurement (never row identity).
+inline std::string perf_attribution_json(const obs::PerfPlane& perf) {
+  const double rounds =
+      perf.rounds() > 0 ? static_cast<double>(perf.rounds()) : 1.0;
+  std::string s = "{\"rounds\": " + std::to_string(perf.rounds());
+  s += ", \"coverage\": " + util::fmt(perf.attribution_coverage(), 4);
+  s += ", \"imbalance_mean\": " + util::fmt(perf.mean_imbalance(), 3);
+  s += ", \"imbalance_max\": " + util::fmt(perf.max_imbalance(), 3);
+  s += ", \"phases_ns_per_round\": {";
+  bool first = true;
+  for (int p = 0; p < obs::kPerfPhaseCount; ++p) {
+    const auto phase = static_cast<obs::PerfPhase>(p);
+    const std::int64_t ns = perf.phase_total_ns(phase);
+    if (ns == 0) continue;
+    if (!first) s += ", ";
+    first = false;
+    s += "\"" + std::string(obs::perf_phase_name(phase)) +
+         "\": " + util::fmt(static_cast<double>(ns) / rounds, 1);
+  }
+  s += "}}";
+  return s;
+}
 
 /// Collects `seeds` samples of `measure(seed)` and summarizes them.
 inline util::Summary over_seeds(

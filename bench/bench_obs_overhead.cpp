@@ -13,8 +13,13 @@
 //               only the counter/gauge/histogram path runs.
 //   * trace   — plane attached with full tracing (debug severity, all
 //               categories), the most expensive configuration.
+//   * perf    — plane attached with the perf-attribution plane on and
+//               tracing masked out: prices the phase/shard timing clocks.
+//               Budget: >= 95% of the 'off' throughput; recorded as
+//               "perf_within_budget" and, with --perf-gate=1, enforced by
+//               the exit code (the check.sh perf fleet runs it gated).
 //
-// All three modes execute the identical seeded workload; their state digests
+// All modes execute the identical seeded workload; their state digests
 // must match (attaching the plane must not perturb the simulation), and the
 // best-of-`--repeats` time is used so the comparison is noise-resistant.
 //
@@ -87,7 +92,7 @@ std::uint64_t digest_states(const std::vector<std::uint64_t>& states,
   return h;
 }
 
-enum class Mode { kOff, kMetrics, kTrace };
+enum class Mode { kOff, kMetrics, kTrace, kPerf };
 
 struct ModeResult {
   std::int64_t rounds = 0;
@@ -101,11 +106,19 @@ std::unique_ptr<obs::Plane> plane_for(Mode mode) {
   obs::PlaneOptions options;
   if (mode == Mode::kMetrics) {
     options.trace.category_mask = 0;  // registry only
+  } else if (mode == Mode::kPerf) {
+    options.trace.category_mask = 0;  // perf attribution only
+    options.perf = true;
   } else {
     options.trace.min_severity = obs::Severity::kDebug;
     options.trace.category_mask = obs::kAllCategories;
   }
-  return std::make_unique<obs::Plane>(options);
+  auto plane = std::make_unique<obs::Plane>(options);
+  if (plane->perf() != nullptr) {
+    plane->perf()->set_alloc_source(
+        +[]() -> std::uint64_t { return bench::alloc_counts().count; });
+  }
+  return plane;
 }
 
 ModeResult run_mode(const geom::UnitDiskGraph& udg, std::int64_t rounds,
@@ -171,6 +184,7 @@ int main(int argc, char** argv) {
       args.get_string("reference", "BENCH_simcore.json");
   const std::string json_path =
       args.get_string("json", "BENCH_obs_overhead.json");
+  const bool perf_gate = args.get_bool("perf-gate", false);
 
   bench::MetricColumns metric_cols(
       nullptr, {"sim.messages", "sim.live_nodes"});
@@ -179,6 +193,7 @@ int main(int argc, char** argv) {
                     args);
   std::vector<std::string> json_rows;
   bool within_budget = true;
+  bool perf_within_budget = true;
 
   for (long long n_ll : sizes) {
     const auto n = static_cast<NodeId>(n_ll);
@@ -199,7 +214,8 @@ int main(int argc, char** argv) {
     };
     std::vector<Row> rows = {{"off", Mode::kOff, {}, nullptr},
                              {"metrics", Mode::kMetrics, {}, nullptr},
-                             {"trace", Mode::kTrace, {}, nullptr}};
+                             {"trace", Mode::kTrace, {}, nullptr},
+                             {"perf", Mode::kPerf, {}, nullptr}};
     for (Row& row : rows) {
       row.r = run_mode(udg, rounds, row.mode, repeats, &row.plane);
     }
@@ -240,6 +256,15 @@ int main(int argc, char** argv) {
       json += ", \"vs_off\": " + util::fmt(vs_off, 4);
       json += ", \"reference_rounds_per_sec\": " + util::fmt(ref_rps, 3);
       json += ", \"vs_reference\": " + util::fmt(vs_ref, 4);
+      if (row.mode == Mode::kPerf) {
+        // The perf-on budget: phase/shard clocks must cost <= 5% of the
+        // detached throughput.
+        if (vs_off < 0.95) perf_within_budget = false;
+        if (row.plane != nullptr && row.plane->perf() != nullptr) {
+          json += ", \"phase_attribution\": " +
+                  bench::perf_attribution_json(*row.plane->perf());
+        }
+      }
       json += "}";
       json_rows.push_back(std::move(json));
       delete row.plane;
@@ -258,6 +283,10 @@ int main(int argc, char** argv) {
     std::cout << "WARNING: detached ('off') throughput fell below 98% of "
                  "the recorded BENCH_simcore.json baseline\n";
   }
+  if (!perf_within_budget) {
+    std::cout << "WARNING: perf-attribution mode fell below 95% of the "
+                 "detached ('off') throughput\n";
+  }
 
   if (!json_path.empty()) {
     std::ofstream json(json_path);
@@ -267,6 +296,9 @@ int main(int argc, char** argv) {
          << "  \"budget\": \"off >= 0.98 * reference\",\n"
          << "  \"within_budget\": " << (within_budget ? "true" : "false")
          << ",\n"
+         << "  \"perf_budget\": \"perf >= 0.95 * off\",\n"
+         << "  \"perf_within_budget\": "
+         << (perf_within_budget ? "true" : "false") << ",\n"
          << "  \"results\": [\n";
     for (std::size_t i = 0; i < json_rows.size(); ++i) {
       json << json_rows[i] << (i + 1 < json_rows.size() ? ",\n" : "\n");
@@ -274,5 +306,5 @@ int main(int argc, char** argv) {
     json << "  ]\n}\n";
     std::cout << "wrote " << json_path << "\n";
   }
-  return 0;
+  return perf_gate && !perf_within_budget ? 1 : 0;
 }

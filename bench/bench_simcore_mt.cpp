@@ -35,6 +35,7 @@
 #include "bench_common.h"
 #include "geom/udg.h"
 #include "graph/graph.h"
+#include "obs/plane.h"
 #include "sim/message.h"
 #include "sim/network.h"
 #include "util/rng.h"
@@ -122,6 +123,27 @@ MtResult run_flood(const geom::UnitDiskGraph& udg, std::int64_t total_rounds,
   return result;
 }
 
+/// Short perf-instrumented pass for the phase_attribution block. Runs
+/// separately from the timed pass above: with the attribution plane on,
+/// every phase boundary pays clock reads, which must not pollute the
+/// headline rounds/sec.
+std::string run_phase_attribution(const geom::UnitDiskGraph& udg,
+                                  std::int64_t rounds, int threads) {
+  obs::PlaneOptions options;
+  options.trace.category_mask = 0;  // perf attribution only, no tracing
+  options.perf = true;
+  obs::Plane plane(options);
+  plane.perf()->set_alloc_source(
+      +[]() -> std::uint64_t { return bench::alloc_counts().count; });
+  sim::SyncNetwork net(udg, kNetSeed);
+  net.set_threads(threads);
+  net.set_observability(&plane);
+  net.set_all_processes(
+      [&](NodeId) { return std::make_unique<FloodProcess>(rounds); });
+  net.run(rounds + 1);
+  return bench::perf_attribution_json(*plane.perf());
+}
+
 std::string json_row(NodeId n, int threads, const MtResult& r, double speedup,
                      double efficiency) {
   std::string row = "    {";
@@ -197,7 +219,15 @@ int main(int argc, char** argv) {
                util::fmt(r.rounds / r.seconds, 2),
                util::fmt(r.allocs_per_round, 1), util::fmt(speedup, 2),
                util::fmt(efficiency, 2)});
-      json_rows.push_back(json_row(n, threads, r, speedup, efficiency));
+      // Phase attribution rides on a short perf-instrumented pass so every
+      // BENCH row records where its round time goes (capped at 20 rounds —
+      // run-wide means stabilize long before the timed pass's length).
+      const std::int64_t perf_rounds = std::min<std::int64_t>(rounds, 20);
+      std::string row_json = json_row(n, threads, r, speedup, efficiency);
+      row_json.insert(row_json.size() - 1,
+                      ", \"phase_attribution\": " +
+                          run_phase_attribution(udg, perf_rounds, threads));
+      json_rows.push_back(std::move(row_json));
     }
     out.rule();
   }

@@ -34,14 +34,21 @@ MEASUREMENT_KEYS = frozenset({
     "seconds", "rounds", "messages", "words",
     "peak_rss_mb", "allocs_per_round", "allocs_per_trial", "wall_s",
     "speedup_vs_legacy", "speedup_vs_1t", "speedup_vs_scalar",
-    "speedup_vs_reference", "efficiency",
+    "speedup_vs_reference", "efficiency", "vs_off", "vs_reference",
+    # Perf-attribution block and its components (bench_common.h
+    # perf_attribution_json): where the time went, never which row it is.
+    "phase_attribution", "coverage", "imbalance_mean", "imbalance_max",
+    "perf_within_budget",
 })
 
 
 def identity(row):
+    # Composite values (e.g. the phase_attribution object) are measurements
+    # by construction and unhashable besides, so they never join the key.
     return tuple(sorted((k, v) for k, v in row.items()
                         if not k.endswith("_per_sec")
-                        and k not in MEASUREMENT_KEYS))
+                        and k not in MEASUREMENT_KEYS
+                        and not isinstance(v, (dict, list))))
 
 
 def load_rows(path, role):
@@ -192,6 +199,29 @@ def selftest():
         ]})
         malformed = write("malformed.json", '{"results": [')
         not_bench = write("not_bench.json", {"hello": "world"})
+        # phase_attribution blocks differ wildly between the sides (and one
+        # row gains the block only on the fresh side): rows must still match
+        # on their true identity, and the block itself is never compared.
+        attrib_base = write("attrib_base.json", {"results": [
+            {"section": "x", "n": 10, "ops_per_sec": 100.0,
+             "phase_attribution": {"rounds": 20, "coverage": 0.99,
+                                   "phases_ns_per_round": {"compute": 10.0}}},
+            {"section": "x", "n": 20, "ops_per_sec": 50.0},
+        ]})
+        attrib_same = write("attrib_same.json", {"results": [
+            {"section": "x", "n": 10, "ops_per_sec": 99.0,
+             "phase_attribution": {"rounds": 5, "coverage": 0.42,
+                                   "phases_ns_per_round": {"deliver": 7.0}}},
+            {"section": "x", "n": 20, "ops_per_sec": 51.0,
+             "phase_attribution": {"rounds": 20, "coverage": 1.0,
+                                   "phases_ns_per_round": {}}},
+        ]})
+        attrib_slow = write("attrib_slow.json", {"results": [
+            {"section": "x", "n": 10, "ops_per_sec": 80.0,
+             "phase_attribution": {"rounds": 20, "coverage": 0.99,
+                                   "phases_ns_per_round": {"compute": 10.0}}},
+            {"section": "x", "n": 20, "ops_per_sec": 50.0},
+        ]})
 
         expect("within tolerance", run(base, same), want_fail=False)
         expect("regression detected", run(base, slow), want_fail=True)
@@ -206,13 +236,17 @@ def selftest():
         expect("no *_per_sec baseline", run(no_metric, same), want_fail=True)
         expect("malformed JSON", run(malformed, same), want_fail=True)
         expect("non-bench JSON", run(not_bench, same), want_fail=True)
+        expect("phase_attribution excluded from identity",
+               run(attrib_base, attrib_same), want_fail=False)
+        expect("regression caught despite matching attribution",
+               run(attrib_base, attrib_slow), want_fail=True)
 
     if failures:
         print("bench_check --selftest: FAILED")
         for f in failures:
             print(f"  {f}")
         return 1
-    print("bench_check --selftest: OK — 10 fixtures behaved as expected")
+    print("bench_check --selftest: OK — 12 fixtures behaved as expected")
     return 0
 
 

@@ -23,7 +23,14 @@
 #                                           BENCH_*.json, and append one
 #                                           line (UTC timestamp, git sha,
 #                                           per-bench status) to
-#                                           bench_history.jsonl
+#                                           bench_history.jsonl. The
+#                                           obs-overhead bench runs with
+#                                           --perf-gate=1, so perf-mode
+#                                           attribution costing >5% of the
+#                                           perf-off throughput fails the
+#                                           gate too; the verdict lands in
+#                                           the history line as
+#                                           "perf_overhead"
 #                                           (default build dir: build)
 #   scripts/check.sh algo-perf [build-dir]  fast algo-kernel-only gate:
 #                                           bench_algo_kernels --quick (a
@@ -156,7 +163,11 @@ algo:bench_algo_kernels:BENCH_algo.json"
   while IFS=: read -r name binary baseline; do
     fresh="$BUILD_DIR/${baseline%.json}.fresh.json"
     one=0
-    "$BUILD_DIR/bench/$binary" --json="$fresh" || one=$?
+    extra=""
+    # Hard-fail the obs bench when the perf-attribution mode costs more
+    # than 5% of the perf-off run (the committed --perf-gate budget).
+    [ "$name" = "obs_overhead" ] && extra="--perf-gate=1"
+    "$BUILD_DIR/bench/$binary" $extra --json="$fresh" || one=$?
     if [ "$one" -eq 0 ]; then
       python3 scripts/bench_check.py "$baseline" "$fresh" || one=$?
     fi
@@ -164,6 +175,15 @@ algo:bench_algo_kernels:BENCH_algo.json"
     if [ "$one" -ne 0 ]; then verdict=fail; status=1; fi
     bench_states="${bench_states:+$bench_states, }\"$name\": \"$verdict\""
   done <<< "$FLEET"
+  # Record the perf-attribution overhead verdict on its own key: a fleet
+  # regression and an attribution-cost blowout are different problems.
+  overhead=fail
+  if grep -q '"perf_within_budget": true' \
+      "$BUILD_DIR/BENCH_obs_overhead.fresh.json" 2>/dev/null; then
+    overhead=ok
+  fi
+  [ "$overhead" = "fail" ] && status=1
+  bench_states="$bench_states, \"perf_overhead\": \"$overhead\""
   overall=ok
   [ "$status" -ne 0 ] && overall=fail
   append_history perf "$overall" "$bench_states"

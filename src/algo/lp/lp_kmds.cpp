@@ -35,6 +35,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/perf.h"
 #include "sim/message.h"
 #include "util/thread_pool.h"
 
@@ -90,6 +91,7 @@ class BlockRunner {
   }
 
   [[nodiscard]] std::size_t blocks() const noexcept { return blocks_; }
+  [[nodiscard]] util::ThreadPool* pool() const noexcept { return pool_.get(); }
 
   /// Runs fn(first, last, block_index) over every block; strict barrier.
   template <typename Fn>
@@ -227,8 +229,34 @@ LpResult solve_fractional_kmds(const graph::Graph& g, const Demands& demands,
   const BlockRunner runner(n, options.threads, options.parallel_block);
   std::vector<double> block_ratio(runner.blocks(), 0.0);
 
+  // Optional perf attribution: each (p, q) iteration is one perf "round"
+  // (kLpXUpdate / kLpDualColor / kLpDegree laps), the z-pass one more. The
+  // sink only receives wall times — it cannot touch the solution state.
+  obs::PerfPlane* const pf = options.perf;
+  if (pf != nullptr && runner.pool() != nullptr) {
+    runner.pool()->set_perf_enabled(true);
+  }
+  std::int64_t t_mark = pf != nullptr ? obs::PerfPlane::now_ns() : 0;
+  auto lap = [&](obs::PerfPhase phase) {
+    if (pf == nullptr) return;
+    const std::int64_t now = obs::PerfPlane::now_ns();
+    pf->add(phase, now - t_mark);
+    t_mark = now;
+  };
+  std::int64_t perf_iter = 0;
+  auto perf_end_iter = [&](std::int64_t iter_t0) {
+    if (pf == nullptr) return;
+    if (runner.pool() != nullptr) {
+      const util::ThreadPool::PerfCounters pc = runner.pool()->drain_perf();
+      pf->add(obs::PerfPhase::kBarrierWait, pc.barrier_wait_ns);
+      pf->add(obs::PerfPhase::kClaimStall, pc.claim_stall_ns);
+    }
+    pf->end_round(perf_iter++, t_mark - iter_t0);
+  };
+
   for (int p = t - 1; p >= 0; --p) {
     for (int q = t - 1; q >= 0; --q) {
+      const std::int64_t iter_t0 = t_mark;
       const auto pe = static_cast<std::size_t>(p);
       const auto qe = static_cast<std::size_t>(q);
       // Lines 5-8: x-update (plus Lemma 4.1 audit), all nodes in lockstep.
@@ -258,6 +286,7 @@ LpResult solve_fractional_kmds(const graph::Graph& g, const Demands& demands,
         result.max_lemma41_ratio =
             std::max(result.max_lemma41_ratio, block_ratio[b]);
       }
+      lap(obs::PerfPhase::kLpXUpdate);
 
       // Lines 10-21: dual bookkeeping and coloring at white nodes. Node i
       // writes c/alpha/beta/white/y slots it owns and reads only x_plus
@@ -292,6 +321,7 @@ LpResult solve_fractional_kmds(const graph::Graph& g, const Demands& demands,
           }
         }
       });
+      lap(obs::PerfPhase::kLpDualColor);
 
       // Lines 23-24: exchange colors, recompute dynamic degrees (reads the
       // white[] snapshot the previous barrier fixed).
@@ -305,8 +335,11 @@ LpResult solve_fractional_kmds(const graph::Graph& g, const Demands& demands,
           dyn_deg[i] = deg;
         }
       });
+      lap(obs::PerfPhase::kLpDegree);
+      perf_end_iter(iter_t0);
     }
   }
+  const std::int64_t z_t0 = t_mark;
 
   // Line 27: z_i = Σ_{j∈N_i} (α_{i,j}·y_j − β_{i,j}). α_{i,j} lives at node
   // j (in i's slot — rev_slot gives it without a binary search); in the
@@ -326,6 +359,8 @@ LpResult solve_fractional_kmds(const graph::Graph& g, const Demands& demands,
       result.dual.z[i] = z;
     }
   });
+  lap(obs::PerfPhase::kLpZPass);
+  perf_end_iter(z_t0);
 
   return result;
 }

@@ -26,6 +26,10 @@
 #include "domination/fractional.h"
 #include "graph/graph.h"
 
+namespace ftc::obs {
+class PerfPlane;
+}
+
 namespace ftc::algo {
 
 /// What each node knows about the maximum degree Δ (the paper's Remark at
@@ -72,6 +76,14 @@ struct LpOptions {
   /// tests can force multi-block execution on tiny graphs; leave at 0
   /// otherwise.
   int parallel_block = 0;
+
+  /// Optional perf-attribution sink (obs/perf.h). Each (p, q) inner
+  /// iteration reports its phase wall times (x-update, dual/coloring,
+  /// degree recompute) as one perf "round", the final z-pass as one more,
+  /// and the block pool's barrier/claim counters are drained per iteration.
+  /// Timing lives entirely in PerfPlane side state, so attaching a sink
+  /// cannot affect the solution. Null (the default) = no timing at all.
+  obs::PerfPlane* perf = nullptr;
 };
 
 /// Everything Algorithm 1 produces, plus audit data for experiment E10.

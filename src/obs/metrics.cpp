@@ -193,10 +193,19 @@ void Registry::reset() {
   }
 }
 
-void Registry::write_json(std::ostream& os) const {
+void Registry::write_json(std::ostream& os,
+                          std::string_view exclude_prefix) const {
   os << "{\n";
+  bool first = true;
   for (std::size_t i = 0; i < defs_.size(); ++i) {
     const Def& d = defs_[i];
+    if (!exclude_prefix.empty() &&
+        std::string_view(d.name).substr(0, exclude_prefix.size()) ==
+            exclude_prefix) {
+      continue;
+    }
+    if (!first) os << ",\n";
+    first = false;
     os << "  \"" << d.name << "\": ";
     if (d.kind == MetricKind::kHistogram) {
       const Hist& h = hists_[d.slot];
@@ -214,8 +223,8 @@ void Registry::write_json(std::ostream& os) const {
     } else {
       os << scalars_[d.slot];
     }
-    os << (i + 1 < defs_.size() ? ",\n" : "\n");
   }
+  if (!first) os << "\n";
   os << "}\n";
 }
 

@@ -1,0 +1,208 @@
+// Perf-attribution plane for the observability stack (DESIGN.md §12).
+//
+// Answers "where does round time go": per round, wall time is broken down
+// by engine phase (compute, the three delivery sub-phases, channel decide,
+// fault apply, obs merge, …) AND per shard, plus the ThreadPool's barrier
+// wait and claim stall. From those samples the plane derives load-imbalance
+// factors (max/mean shard busy time), straggler identification (which shard
+// was slowest, how often, with its node/message volume), and run-wide
+// attribution coverage (how much of the measured wall time the phase
+// intervals explain).
+//
+// Determinism contract: timing follows the exact staging discipline of
+// obs::Trace / obs::Registry — workers write only shard-owned staging slots
+// (shard_add / note_shard_work), the owner folds them in ascending shard
+// order at the round barrier (end_round) — so *enabling* the plane never
+// perturbs the simulated execution and SyncNetwork's set_threads bitwise
+// invariance holds with perf on. The recorded nanoseconds themselves are of
+// course wall-clock facts: they live in this side structure and its own
+// JSONL export, never in the deterministic trace stream; the only registry
+// contact is the "perf."-prefixed steady-state gauges, which determinism
+// comparisons drop via Registry::write_json(os, "perf.").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ftc::obs {
+
+/// Attribution targets. The first block are the round engine's top-level
+/// phases: disjoint intervals that tile a SyncNetwork round, so their sum
+/// per round is the attribution-coverage numerator. The second block are
+/// nested or overlapping attributions (channel decide runs inside the
+/// delivery count pass; barrier wait and claim stall overlap the dispatched
+/// phases) — reported, but excluded from the coverage sum. The LP block are
+/// the top-level phases of one lp_kmds inner iteration.
+enum class PerfPhase : std::uint8_t {
+  kFaultApply = 0,   ///< scheduled crash/recovery/channel application
+  kCompute,          ///< process on_round execution (dispatched)
+  kStatsMerge,       ///< shard-stat fold + registry counter publication
+  kObsMerge,         ///< trace/metric shard-staging merge at the barrier
+  kDeliverCount,     ///< delivery B1: per-receiver counts + channel fates
+  kDeliverPrefix,    ///< delivery B2: O(shards) sequential prefix sum
+  kDeliverPlace,     ///< delivery B3: counting-sort placement
+  kFinalize,         ///< generation swap + gauges + round trace event
+  kChannelDecide,    ///< nested in B1: per-message channel verdicts
+  kBarrierWait,      ///< caller blocked on the pool's epoch barrier
+  kClaimStall,       ///< pool drain time not spent executing tasks
+  kLpXUpdate,        ///< lp_kmds lines 5-8: x-update + Lemma 4.1 audit
+  kLpDualColor,      ///< lp_kmds lines 10-21: dual bookkeeping + coloring
+  kLpDegree,         ///< lp_kmds lines 23-24: dynamic-degree recompute
+  kLpZPass,          ///< lp_kmds line 27: final z-pass
+};
+inline constexpr int kPerfPhaseCount = 15;
+
+/// Stable snake_case key used in the JSONL export and the tools.
+[[nodiscard]] std::string_view perf_phase_name(PerfPhase p) noexcept;
+
+/// True for phases whose intervals are disjoint and tile their round —
+/// the only ones the attribution-coverage sum may count (summing nested or
+/// overlapping phases would claim >100% coverage).
+[[nodiscard]] bool perf_phase_top_level(PerfPhase p) noexcept;
+
+/// Phases with per-shard resolution, in slot order. Everything else is
+/// owner-side only (sequential barriers have no shard dimension).
+inline constexpr int kPerfShardPhaseCount = 4;
+[[nodiscard]] PerfPhase perf_shard_phase(int slot) noexcept;
+/// Slot of a per-shard phase, or -1 for owner-only phases.
+[[nodiscard]] int perf_shard_slot(PerfPhase p) noexcept;
+
+/// One shard's share of one round.
+struct PerfShardSample {
+  std::int64_t phase_ns[kPerfShardPhaseCount] = {0, 0, 0, 0};
+  std::int64_t nodes = 0;     ///< processes executed by this shard
+  std::int64_t messages = 0;  ///< messages sent by this shard
+
+  /// Parallel-phase work time: compute + count + place (channel decide is
+  /// nested inside count and would double-count).
+  [[nodiscard]] std::int64_t busy_ns() const noexcept;
+};
+
+/// One fully merged round.
+struct PerfRoundSample {
+  std::int64_t round = 0;
+  std::int64_t total_ns = 0;  ///< measured wall time of the whole round
+  std::int64_t phase_ns[kPerfPhaseCount] = {};
+  std::vector<PerfShardSample> shards;
+  double imbalance = 1.0;  ///< max/mean shard busy_ns (1.0 when idle)
+  int straggler = -1;      ///< slowest shard, or -1 when no shard was busy
+
+  /// Sum over top-level phases (the coverage numerator for this round).
+  [[nodiscard]] std::int64_t attributed_ns() const noexcept;
+};
+
+/// Run-wide per-shard aggregates (never evicted).
+struct PerfShardTotals {
+  std::int64_t phase_ns[kPerfShardPhaseCount] = {0, 0, 0, 0};
+  std::int64_t nodes = 0;
+  std::int64_t messages = 0;
+  std::int64_t straggler_rounds = 0;  ///< rounds this shard was the slowest
+
+  [[nodiscard]] std::int64_t busy_ns() const noexcept;
+};
+
+struct PerfOptions {
+  std::size_t capacity = 1u << 12;  ///< retained per-round samples (ring)
+};
+
+/// The attribution sink. Thread discipline mirrors obs::Registry: add() and
+/// end_round() are owner-thread only; shard_add()/note_shard_work(s, …) may
+/// run concurrently as long as each shard index has exactly one owner
+/// between end_round() calls.
+class PerfPlane {
+ public:
+  PerfPlane();
+  explicit PerfPlane(PerfOptions options);
+
+  PerfPlane(const PerfPlane&) = delete;
+  PerfPlane& operator=(const PerfPlane&) = delete;
+
+  /// Registers the steady-state gauges perf.peak_rss_kb and perf.allocs on
+  /// `registry` (refreshed at every end_round). The "perf." prefix is the
+  /// exclusion key determinism comparisons pass to Registry::write_json.
+  void bind_registry(Registry* registry);
+
+  /// Optional allocation-counter source (the bench layer wires
+  /// bench/alloc_hooks.cpp in; library users leave it unset and the
+  /// perf.allocs gauge stays 0). Read once per end_round.
+  void set_alloc_source(std::uint64_t (*source)()) noexcept {
+    alloc_source_ = source;
+  }
+
+  /// Sizes the shard staging (sequential-only, like Registry::set_shards).
+  void set_shards(int shards);
+  [[nodiscard]] int shards() const noexcept {
+    return static_cast<int>(staged_.size());
+  }
+
+  /// Owner-thread attribution of `ns` to `phase` for the current round.
+  void add(PerfPhase phase, std::int64_t ns) noexcept;
+  /// Worker-side attribution into the shard's staging slot. Phases without
+  /// a shard slot (perf_shard_slot == -1) assert.
+  void shard_add(int shard, PerfPhase phase, std::int64_t ns) noexcept;
+  /// Work-volume bookkeeping for straggler reports (owner or shard owner).
+  void note_shard_work(int shard, std::int64_t nodes,
+                       std::int64_t messages) noexcept;
+
+  /// Round barrier: folds the shard staging in ascending shard order,
+  /// computes imbalance + straggler, appends the ring sample, folds the
+  /// run-wide aggregates, and refreshes the registry gauges.
+  void end_round(std::int64_t round, std::int64_t total_ns);
+
+  [[nodiscard]] std::int64_t rounds() const noexcept { return rounds_; }
+  /// Retained per-round samples, oldest first.
+  [[nodiscard]] std::vector<PerfRoundSample> recent() const;
+  [[nodiscard]] const std::vector<PerfShardTotals>& shard_totals()
+      const noexcept {
+    return shard_totals_;
+  }
+  /// Run-wide sums.
+  [[nodiscard]] std::int64_t total_ns() const noexcept { return agg_total_ns_; }
+  [[nodiscard]] std::int64_t phase_total_ns(PerfPhase p) const noexcept;
+  /// Σ top-level phase time / Σ round wall time (0 when no rounds ended).
+  [[nodiscard]] double attribution_coverage() const noexcept;
+  [[nodiscard]] double mean_imbalance() const noexcept;
+  [[nodiscard]] double max_imbalance() const noexcept { return imb_max_; }
+
+  /// Steady-clock nanoseconds (callable from workers; callers take
+  /// differences, so the epoch is irrelevant).
+  [[nodiscard]] static std::int64_t now_ns() noexcept;
+
+  /// Writes the side-channel JSONL: one "round" line per retained sample,
+  /// then one "summary" line with run-wide aggregates, coverage, imbalance,
+  /// per-shard totals, and the trace's clamped-span count.
+  void export_jsonl(std::ostream& os, std::int64_t clamped_spans = 0) const;
+
+ private:
+  struct ShardStage {
+    std::int64_t phase_ns[kPerfShardPhaseCount] = {0, 0, 0, 0};
+    std::int64_t nodes = 0;
+    std::int64_t messages = 0;
+  };
+
+  void refresh_gauges();
+
+  PerfOptions options_;
+  std::vector<ShardStage> staged_;
+  std::int64_t cur_phase_ns_[kPerfPhaseCount] = {};
+  std::vector<PerfRoundSample> ring_;
+  std::size_t head_ = 0;  ///< next write position once the ring is full
+  std::int64_t rounds_ = 0;
+  // Run-wide aggregates (never evicted).
+  std::int64_t agg_phase_ns_[kPerfPhaseCount] = {};
+  std::int64_t agg_total_ns_ = 0;
+  std::vector<PerfShardTotals> shard_totals_;
+  double imb_sum_ = 0.0;
+  double imb_max_ = 0.0;
+  // Registry gauges.
+  Registry* registry_ = nullptr;
+  MetricId peak_rss_gauge_ = kInvalidMetric;
+  MetricId allocs_gauge_ = kInvalidMetric;
+  std::uint64_t (*alloc_source_)() = nullptr;
+};
+
+}  // namespace ftc::obs

@@ -9,6 +9,10 @@
 namespace ftc::obs {
 
 Plane::Plane(PlaneOptions options) : trace_(options.trace) {
+  if (options.perf) {
+    perf_ = std::make_unique<PerfPlane>(options.perf_options);
+    perf_->bind_registry(&metrics_);
+  }
   Registry& r = metrics_;
   builtin_.rounds = r.counter("sim.rounds");
   builtin_.messages = r.counter("sim.messages");
@@ -67,6 +71,7 @@ Plane::Plane(PlaneOptions options) : trace_(options.trace) {
 void Plane::set_shards(int shards) {
   metrics_.set_shards(shards);
   trace_.set_shards(shards);
+  if (perf_ != nullptr) perf_->set_shards(shards);
 }
 
 void Plane::merge_shards() {
@@ -116,6 +121,7 @@ void write_file(const std::string& path, const auto& writer) {
 std::unique_ptr<Plane> make_plane(const util::ObsFlags& flags) {
   if (!flags.enabled()) return nullptr;
   PlaneOptions options;
+  options.perf = flags.perf;
   if (flags.capacity > 0) {
     options.trace.capacity = static_cast<std::size_t>(flags.capacity);
   }
@@ -135,6 +141,11 @@ void export_plane(const Plane& plane, const util::ObsFlags& flags) {
   if (!flags.metrics_path.empty()) {
     write_file(flags.metrics_path,
                [&](std::ostream& os) { plane.metrics().write_json(os); });
+  }
+  if (plane.perf() != nullptr && !flags.perf_path.empty()) {
+    write_file(flags.perf_path, [&](std::ostream& os) {
+      plane.perf()->export_jsonl(os, plane.trace().clamped_spans());
+    });
   }
   if (!flags.trace_path.empty()) {
     if (ends_with(flags.trace_path, ".jsonl")) {

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 
 namespace ftc::util {
@@ -81,6 +82,8 @@ struct Builtin {
 
 struct PlaneOptions {
   Trace::Options trace;
+  bool perf = false;  ///< attach a PerfPlane (attribution timing, §12)
+  PerfOptions perf_options;
 };
 
 class Plane {
@@ -96,13 +99,20 @@ class Plane {
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
   [[nodiscard]] const Builtin& builtin() const noexcept { return builtin_; }
 
-  /// Forwarded to both members (see their shard contracts).
+  /// The perf-attribution plane, or nullptr when PlaneOptions.perf was
+  /// false. The round engine caches this pointer and stages timing into it
+  /// exactly like trace emission (see perf.h for the determinism contract).
+  [[nodiscard]] PerfPlane* perf() noexcept { return perf_.get(); }
+  [[nodiscard]] const PerfPlane* perf() const noexcept { return perf_.get(); }
+
+  /// Forwarded to every member (see their shard contracts).
   void set_shards(int shards);
   void merge_shards();
 
  private:
   Registry metrics_;
   Trace trace_;
+  std::unique_ptr<PerfPlane> perf_;
   Builtin builtin_;
 };
 

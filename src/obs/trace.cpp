@@ -110,6 +110,20 @@ void Trace::shard_emit(int shard, TraceEvent e) {
   staged_[static_cast<std::size_t>(shard)].push_back(e);
 }
 
+void Trace::finish_span(TraceEvent e, int shard) {
+  if (e.dur_ns <= 0) {
+    // Clamp so the span still renders, but make the fabrication visible:
+    // a clamped duration means the clock could not resolve the interval.
+    e.dur_ns = 1;
+    clamped_spans_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (shard >= 0) {
+    shard_emit(shard, e);
+  } else {
+    emit(e);
+  }
+}
+
 void Trace::merge_shards() {
   for (auto& shard : staged_) {  // ascending shard order
     for (const TraceEvent& e : shard) push(e);
@@ -191,12 +205,7 @@ void SpanTimer::set_args(std::int64_t a0, std::int64_t a1) noexcept {
 SpanTimer::~SpanTimer() {
   if (trace_ == nullptr) return;
   event_.dur_ns = trace_->now_ns() - event_.wall_ns;
-  if (event_.dur_ns <= 0) event_.dur_ns = 1;  // render as a span regardless
-  if (shard_ >= 0) {
-    trace_->shard_emit(shard_, event_);
-  } else {
-    trace_->emit(event_);
-  }
+  trace_->finish_span(event_, shard_);
 }
 
 }  // namespace ftc::obs

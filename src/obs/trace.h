@@ -20,6 +20,7 @@
 // trace_event format (load in Perfetto / about:tracing) using wall time.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
@@ -108,8 +109,20 @@ class Trace {
   /// Appends every staged event in ascending shard order (owner thread).
   void merge_shards();
 
+  /// Finishes a span event: a non-positive duration is clamped to 1 ns (so
+  /// it still renders as a span) and counted in clamped_spans(). Called by
+  /// ~SpanTimer, possibly from worker threads (hence the atomic counter);
+  /// exposed so tests can drive the clamp path deterministically.
+  void finish_span(TraceEvent e, int shard);
+
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] std::int64_t dropped() const noexcept { return dropped_; }
+  /// Spans whose measured duration was <= 0 and was clamped to 1 ns. A
+  /// wall-clock fact (clock resolution dependent), so it is reported via
+  /// the perf JSONL summary, never the deterministic registry.
+  [[nodiscard]] std::int64_t clamped_spans() const noexcept {
+    return clamped_spans_.load(std::memory_order_relaxed);
+  }
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
@@ -133,6 +146,7 @@ class Trace {
   std::size_t head_ = 0;  ///< next write position
   std::size_t count_ = 0;
   std::int64_t dropped_ = 0;
+  std::atomic<std::int64_t> clamped_spans_{0};
   std::vector<std::vector<TraceEvent>> staged_;
   std::chrono::steady_clock::time_point epoch_;
 };

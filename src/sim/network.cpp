@@ -164,9 +164,13 @@ void SyncNetwork::set_observability(obs::Plane* plane) {
 void SyncNetwork::sync_observability_shards() {
   if (plane_ == nullptr) {
     recorders_.clear();
+    perf_ = nullptr;
+    if (pool_ != nullptr) pool_->set_perf_enabled(false);
     return;
   }
   plane_->set_shards(threads_);
+  perf_ = plane_->perf();
+  if (pool_ != nullptr) pool_->set_perf_enabled(perf_ != nullptr);
   if (static_cast<int>(recorders_.size()) != threads_) {
     recorders_.clear();
     recorders_.reserve(static_cast<std::size_t>(threads_));
@@ -429,6 +433,8 @@ void SyncNetwork::execute_nodes(graph::NodeId begin, graph::NodeId end,
   obs::Recorder* const rec =
       recorders_.empty() ? nullptr
                          : &recorders_[static_cast<std::size_t>(shard)];
+  obs::PerfPlane* const pf = perf_;
+  const std::int64_t t0 = pf != nullptr ? obs::PerfPlane::now_ns() : 0;
   const Message* const store = inbox_store_.data();
   for (NodeId v = begin; v < end; ++v) {
     const auto idx = static_cast<std::size_t>(v);
@@ -443,10 +449,15 @@ void SyncNetwork::execute_nodes(graph::NodeId begin, graph::NodeId end,
     ctx.obs_ = rec;
     ctx.inbox_ = {store + inbox_off_[idx], inbox_len_[idx]};
     p->on_round(ctx);
+    ++stats.nodes_run;
     if (p->halted()) {
       node_flags_[idx] |= kNodeHalted;
       ++stats.newly_halted;
     }
+  }
+  if (pf != nullptr) {
+    pf->shard_add(shard, obs::PerfPhase::kCompute,
+                  obs::PerfPlane::now_ns() - t0);
   }
 }
 
@@ -459,12 +470,28 @@ void SyncNetwork::deliver_round(int shards) {
   const bool impaired = channel_.impaired();
   const std::int64_t due_round = round_ + 1;
 
+  // Perf attribution: the owner laps the three delivery phases; the two
+  // dispatched passes additionally stage per-shard time (and per-message
+  // channel-decide time, nested inside the count pass, when the channel is
+  // impaired). All of it lands in PerfPlane side state only — see perf.h.
+  obs::PerfPlane* const pf = perf_;
+  std::int64_t t_mark = pf != nullptr ? obs::PerfPlane::now_ns() : 0;
+  auto lap = [&](obs::PerfPhase phase) {
+    if (pf == nullptr) return;
+    const std::int64_t now = obs::PerfPlane::now_ns();
+    pf->add(phase, now - t_mark);
+    t_mark = now;
+  };
+
   // Count pass (parallel over destination shards): per-receiver incoming
   // counts, channel verdicts (recorded as fate bytes so the place pass
   // replays instead of re-deciding — decide() counts side effects), and
   // delayed/duplicate copy enqueue into the shard's own pending bucket.
   auto count_shard = [&](int d) {
     const auto du = static_cast<std::size_t>(d);
+    const std::int64_t shard_t0 =
+        pf != nullptr ? obs::PerfPlane::now_ns() : 0;
+    std::int64_t decide_ns = 0;
     const auto [lo, hi] = shard_range(d);
     std::fill(inbox_count_.begin() + lo, inbox_count_.begin() + hi, 0u);
     std::uint64_t total = 0;
@@ -480,7 +507,12 @@ void SyncNetwork::deliver_round(int shards) {
           continue;
         }
         if (impaired) {
+          // Per-message decide cost is only clocked when perf is on (two
+          // clock reads per message); the clean-channel path never pays it.
+          const std::int64_t t_decide =
+              pf != nullptr ? obs::PerfPlane::now_ns() : 0;
           const Channel::Fate fate = channel_.decide(e.from, e.to, round_, cs);
+          if (pf != nullptr) decide_ns += obs::PerfPlane::now_ns() - t_decide;
           if (fate.dropped) {
             fates.push_back(0);
             continue;
@@ -511,8 +543,16 @@ void SyncNetwork::deliver_round(int shards) {
       }
     }
     shard_inbox_total_[du] = total;
+    if (pf != nullptr) {
+      pf->shard_add(d, obs::PerfPhase::kDeliverCount,
+                    obs::PerfPlane::now_ns() - shard_t0);
+      if (decide_ns != 0) {
+        pf->shard_add(d, obs::PerfPhase::kChannelDecide, decide_ns);
+      }
+    }
   };
   dispatch_shards(shards, count_shard);
+  lap(obs::PerfPhase::kDeliverCount);
 
   // Prefix pass (sequential, O(shards)): region bases + store sizing. The
   // store only ever grows — a resize would value-initialize the new tail
@@ -526,6 +566,7 @@ void SyncNetwork::deliver_round(int shards) {
   if (inbox_store_.size() < total_messages) {
     inbox_store_.resize(static_cast<std::size_t>(total_messages));
   }
+  lap(obs::PerfPhase::kDeliverPrefix);
 
   // Place pass (parallel over destination shards): local offset scan, then
   // counting-sort the fresh deliveries into each receiver's region —
@@ -535,6 +576,8 @@ void SyncNetwork::deliver_round(int shards) {
   // bucket order: the same per-receiver order every width produces).
   auto place_shard = [&](int d) {
     const auto du = static_cast<std::size_t>(d);
+    const std::int64_t shard_t0 =
+        pf != nullptr ? obs::PerfPlane::now_ns() : 0;
     const auto [lo, hi] = shard_range(d);
     std::uint64_t running = shard_inbox_base_[du];
     for (NodeId v = lo; v < hi; ++v) {
@@ -589,6 +632,10 @@ void SyncNetwork::deliver_round(int shards) {
              "place pass disagrees with count pass");
     }
 #endif
+    if (pf != nullptr) {
+      pf->shard_add(d, obs::PerfPhase::kDeliverPlace,
+                    obs::PerfPlane::now_ns() - shard_t0);
+    }
   };
   dispatch_shards(shards, place_shard);
 
@@ -597,6 +644,7 @@ void SyncNetwork::deliver_round(int shards) {
   if (impaired) {
     for (Channel::ShardState& st : channel_shards_) channel_.absorb(st);
   }
+  lap(obs::PerfPhase::kDeliverPlace);
 }
 
 bool SyncNetwork::step() {
@@ -612,10 +660,24 @@ bool SyncNetwork::step() {
                           name, executed_round);
   };
 
+  // Perf attribution: the owner laps each sequential phase boundary; the
+  // dispatched phases stage per-shard time from the workers (merged at
+  // end_round in ascending shard order). pf stays null on the default path.
+  obs::PerfPlane* const pf = perf_;
+  const std::int64_t step_t0 = pf != nullptr ? obs::PerfPlane::now_ns() : 0;
+  std::int64_t t_mark = step_t0;
+  auto lap = [&](obs::PerfPhase phase) {
+    if (pf == nullptr) return;
+    const std::int64_t now = obs::PerfPlane::now_ns();
+    pf->add(phase, now - t_mark);
+    t_mark = now;
+  };
+
   {
     obs::SpanTimer span = phase_span(b != nullptr ? b->n_fault_apply : 0);
     apply_scheduled_events();
   }
+  lap(obs::PerfPhase::kFaultApply);
 
   // Run every live, unhalted process against the inbox delivered at the end
   // of the previous round. Shards stage into disjoint state; everything
@@ -631,18 +693,23 @@ bool SyncNetwork::step() {
     obs::SpanTimer span = phase_span(b != nullptr ? b->n_execute : 0);
     dispatch_shards(shards, run_shard);
   }
+  lap(obs::PerfPhase::kCompute);
 
   std::int64_t round_messages = 0;
   std::int64_t round_words = 0;
   std::int64_t arena_words = 0;
   {
     obs::SpanTimer span = phase_span(b != nullptr ? b->n_merge : 0);
-    for (const ShardStats& st : shard_stats_) {
+    for (std::size_t s = 0; s < shard_stats_.size(); ++s) {
+      const ShardStats& st = shard_stats_[s];
       round_messages += st.messages;
       round_words += st.words;
       metrics_.max_message_words =
           std::max(metrics_.max_message_words, st.max_words);
       running_count_ -= st.newly_halted;
+      if (pf != nullptr) {
+        pf->note_shard_work(static_cast<int>(s), st.nodes_run, st.messages);
+      }
     }
     metrics_.messages_sent += round_messages;
     metrics_.words_sent += round_words;
@@ -654,15 +721,18 @@ bool SyncNetwork::step() {
       for (const auto& arena : arena_cur_) {
         arena_words += static_cast<std::int64_t>(arena.size());
       }
+      lap(obs::PerfPhase::kStatsMerge);
       pl->merge_shards();  // worker-staged process events, shard order
       span.set_args(round_messages, round_words);
     }
   }
+  lap(obs::PerfPhase::kObsMerge);
 
   {
     obs::SpanTimer span = phase_span(b != nullptr ? b->n_deliver : 0);
-    deliver_round(shards);
+    deliver_round(shards);  // laps kDeliverCount/Prefix/Place itself
   }
+  if (pf != nullptr) t_mark = obs::PerfPlane::now_ns();
 
   // Generation swap: the arena just written now backs the new inboxes; the
   // one delivered two rounds ago is recycled for the next round's sends.
@@ -705,6 +775,18 @@ bool SyncNetwork::step() {
     e.a0 = round_messages;
     e.a1 = live_count_;
     tr->emit(e);
+  }
+
+  if (pf != nullptr) {
+    lap(obs::PerfPhase::kFinalize);
+    if (pool_ != nullptr) {
+      // Pool scheduling overhead accumulated across this round's dispatches
+      // (drained here, at a quiescent point — workers are parked).
+      const util::ThreadPool::PerfCounters pc = pool_->drain_perf();
+      pf->add(obs::PerfPhase::kBarrierWait, pc.barrier_wait_ns);
+      pf->add(obs::PerfPhase::kClaimStall, pc.claim_stall_ns);
+    }
+    pf->end_round(executed_round, t_mark - step_t0);
   }
 
   check_counters();

@@ -396,6 +396,7 @@ class SyncNetwork final : public NetworkBackend {
     std::int64_t words = 0;
     std::int64_t max_words = 0;
     std::int64_t newly_halted = 0;
+    std::int64_t nodes_run = 0;  ///< processes executed (straggler telemetry)
   };
 
   // NetworkBackend:
@@ -558,6 +559,7 @@ class SyncNetwork final : public NetworkBackend {
   // Observability (null = disabled; the hot path then costs one branch per
   // round phase plus one pointer store per node context).
   obs::Plane* plane_ = nullptr;
+  obs::PerfPlane* perf_ = nullptr;           ///< cached plane_->perf()
   std::vector<obs::Recorder> recorders_;     ///< one per shard
   Channel::Counters published_;              ///< channel counters already published
 

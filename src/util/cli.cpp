@@ -111,6 +111,12 @@ ObsFlags parse_obs_flags(const Args& args) {
   flags.categories = args.get_string("trace-categories", "");
   flags.severity = args.get_string("trace-severity", "");
   flags.capacity = args.get_int("trace-capacity", flags.capacity);
+  if (args.has("perf")) {
+    flags.perf = true;
+    // Bare `--perf` parses as value "1"; treat that as "default path".
+    const std::string path = args.get_string("perf", "");
+    flags.perf_path = (path.empty() || path == "1") ? "perf.jsonl" : path;
+  }
   return flags;
 }
 

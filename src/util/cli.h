@@ -71,6 +71,10 @@ class Args {
 ///                           (default: all)
 ///   --trace-severity=S      debug | info | warn | error (default: debug)
 ///   --trace-capacity=N      trace ring capacity in events
+///   --perf[=FILE]           perf-attribution plane: per-phase/per-shard
+///                           round timing, imbalance + straggler telemetry,
+///                           written as JSONL to FILE (default perf.jsonl;
+///                           analyze with ftc-trace phases/imbalance/report)
 ///
 /// Kept here as plain strings so the flag syntax lives with the parser and
 /// util stays below obs in the layering.
@@ -80,10 +84,12 @@ struct ObsFlags {
   std::string categories;
   std::string severity;
   long long capacity = 1 << 18;
+  bool perf = false;
+  std::string perf_path;
 
   /// True when any output was requested (observability should be attached).
   [[nodiscard]] bool enabled() const noexcept {
-    return !trace_path.empty() || !metrics_path.empty();
+    return !trace_path.empty() || !metrics_path.empty() || perf;
   }
 };
 

@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace ftc::util {
+
+namespace {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   assert(threads >= 1);
@@ -35,6 +46,13 @@ int ThreadPool::hardware_threads() noexcept {
 
 void ThreadPool::drain_tasks(const std::function<void(int)>* fn, int tasks,
                              int grain, std::uint64_t gen) {
+  // Claim-stall accounting: drain time minus task-execution time is the
+  // scheduling overhead this thread paid (CAS retries, cache traffic on the
+  // claim word, chunk bookkeeping). Two clock reads per chunk when enabled,
+  // zero clock reads otherwise.
+  const bool perf = perf_enabled_.load(std::memory_order_relaxed);
+  const std::int64_t t_enter = perf ? now_ns() : 0;
+  std::int64_t exec_ns = 0;
   std::uint64_t word = claim_.load(std::memory_order_acquire);
   for (;;) {
     // Generation guard: after a job's final completion, run() may return and
@@ -43,9 +61,9 @@ void ThreadPool::drain_tasks(const std::function<void(int)>* fn, int tasks,
     // snapshot can never hand this thread a task of the new job — the
     // comparison fails, the reload observes the new generation, and the
     // loop leaves without touching the (possibly destroyed) old fn.
-    if ((word >> kTaskBits) != gen) return;
+    if ((word >> kTaskBits) != gen) break;
     const int begin = static_cast<int>(word & kTaskMask);
-    if (begin >= tasks) return;
+    if (begin >= tasks) break;
     const int end = std::min(begin + grain, tasks);
     if (!claim_.compare_exchange_weak(
             word, word + static_cast<std::uint64_t>(end - begin),
@@ -55,7 +73,9 @@ void ThreadPool::drain_tasks(const std::function<void(int)>* fn, int tasks,
     // Between the successful claim above and the completed_ add below,
     // completed_ < tasks holds for generation `gen`, so run() cannot return
     // and the job (and *fn) stays alive while we execute.
+    const std::int64_t t_exec = perf ? now_ns() : 0;
     for (int task = begin; task < end; ++task) (*fn)(task);
+    if (perf) exec_ns += now_ns() - t_exec;
     const int done =
         completed_.fetch_add(end - begin, std::memory_order_acq_rel) +
         (end - begin);
@@ -65,6 +85,10 @@ void ThreadPool::drain_tasks(const std::function<void(int)>* fn, int tasks,
       done_epoch_.notify_all();
     }
     word = claim_.load(std::memory_order_acquire);
+  }
+  if (perf) {
+    perf_claim_stall_ns_.fetch_add(now_ns() - t_enter - exec_ns,
+                                   std::memory_order_relaxed);
   }
 }
 
@@ -119,11 +143,21 @@ void ThreadPool::run(int tasks, const std::function<void(int)>& fn,
   drain_tasks(&fn, tasks, grain, gen);
   // Wait-free in the common case: if the caller executed the last task the
   // epoch already advanced and the loop falls straight through; otherwise
-  // block on the epoch word until the finishing worker bumps it.
+  // block on the epoch word until the finishing worker bumps it. The wait is
+  // the caller's barrier-wait time: clocked only once blocking is certain,
+  // so the wait-free fall-through stays clock-free even with perf on.
+  std::int64_t wait_t0 = 0;
   for (;;) {
     const std::uint64_t epoch = done_epoch_.load(std::memory_order_acquire);
     if (epoch >= done_target) break;
+    if (wait_t0 == 0 && perf_enabled_.load(std::memory_order_relaxed)) {
+      wait_t0 = now_ns();
+    }
     done_epoch_.wait(epoch, std::memory_order_acquire);
+  }
+  if (wait_t0 != 0) {
+    perf_barrier_wait_ns_.fetch_add(now_ns() - wait_t0,
+                                    std::memory_order_relaxed);
   }
   {
     std::lock_guard<std::mutex> lock(job_mutex_);

@@ -65,6 +65,27 @@ class ThreadPool {
   /// that do not specify one.
   [[nodiscard]] static int hardware_threads() noexcept;
 
+  /// Scheduling-overhead counters, accumulated while perf accounting is
+  /// enabled and drained by the owner between jobs. Both are wall-clock
+  /// facts: they feed the obs perf plane's side channel, never anything
+  /// determinism-compared.
+  struct PerfCounters {
+    std::int64_t barrier_wait_ns = 0;  ///< caller blocked on the epoch barrier
+    std::int64_t claim_stall_ns = 0;   ///< drain time not spent running tasks
+  };
+
+  /// Enables the counters (two extra clock reads per drain and per caller
+  /// wait; off by default so the plain dispatch path stays clock-free).
+  void set_perf_enabled(bool enabled) noexcept {
+    perf_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  /// Returns the accumulated counters and zeroes them. Owner-thread only,
+  /// outside run() (workers are quiescent between jobs).
+  [[nodiscard]] PerfCounters drain_perf() noexcept {
+    return {perf_barrier_wait_ns_.exchange(0, std::memory_order_relaxed),
+            perf_claim_stall_ns_.exchange(0, std::memory_order_relaxed)};
+  }
+
  private:
   // claim_ layout: high 40 bits job generation, low 24 bits next task index.
   static constexpr int kTaskBits = 24;
@@ -94,6 +115,10 @@ class ThreadPool {
   std::atomic<std::uint64_t> claim_{0};       ///< packed (generation, cursor)
   std::atomic<int> completed_{0};             ///< tasks finished this job
   std::atomic<std::uint64_t> done_epoch_{0};  ///< caller waits on this
+  // Perf accounting (relaxed: drained only at quiescent points).
+  std::atomic<bool> perf_enabled_{false};
+  std::atomic<std::int64_t> perf_barrier_wait_ns_{0};
+  std::atomic<std::int64_t> perf_claim_stall_ns_{0};
 };
 
 }  // namespace ftc::util

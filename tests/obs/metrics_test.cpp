@@ -134,6 +134,39 @@ TEST(MetricsRegistry, ResetZeroesValuesButKeepsDefinitions) {
   EXPECT_EQ(reg.find("c"), c);  // definitions survive
 }
 
+TEST(MetricsRegistry, WriteJsonRendersEmptyHistograms) {
+  // A histogram nothing ever recorded into still exports its full shape:
+  // ftc-trace summarize and diff-based determinism checks both depend on
+  // the all-zero counts row being present rather than omitted.
+  Registry reg;
+  reg.histogram("empty.hist", {1.0, 4.0});
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_NE(os.str().find(
+                "\"empty.hist\": {\"bounds\": [1, 4], \"counts\": [0, 0, 0]}"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, WriteJsonExcludePrefixDropsOnlyMatchingMetrics) {
+  // Registry::write_json(os, "perf.") is how determinism comparisons drop
+  // the wall-clock perf gauges while keeping everything else bit-exact.
+  Registry reg;
+  reg.set(reg.gauge("perf.allocs"), 123);
+  reg.set(reg.gauge("perf.peak_rss_kb"), 456);
+  reg.add(reg.counter("sim.messages"), 7);
+  reg.record(reg.histogram("perf.h", {1.0}), 0.5);
+  std::ostringstream all_os, excl_os;
+  reg.write_json(all_os);
+  reg.write_json(excl_os, "perf.");
+  EXPECT_NE(all_os.str().find("perf.allocs"), std::string::npos);
+  EXPECT_EQ(excl_os.str().find("perf."), std::string::npos);
+  EXPECT_NE(excl_os.str().find("\"sim.messages\": 7"), std::string::npos);
+  // An empty prefix excludes nothing.
+  std::ostringstream empty_os;
+  reg.write_json(empty_os, "");
+  EXPECT_EQ(empty_os.str(), all_os.str());
+}
+
 TEST(MetricsRegistry, WriteJsonShape) {
   Registry reg;
   reg.add(reg.counter("a.count"), 3);

@@ -27,10 +27,14 @@ struct SoakCapture {
   std::string jsonl;
   std::string metrics_json;
   algo::SoakReport report;
+  std::int64_t perf_rounds = 0;  ///< rounds the perf plane attributed
 };
 
 /// One seeded churn soak with an attached plane at the given thread count.
-SoakCapture run_traced_soak(int threads) {
+/// The registry export always drops the "perf."-prefixed gauges — that is
+/// the documented exclusion determinism comparisons use (obs/perf.h), and
+/// with perf off it excludes nothing.
+SoakCapture run_traced_soak(int threads, bool with_perf = false) {
   util::Rng rng(12345);
   const auto udg = geom::uniform_udg_with_degree(150, 10.0, rng);
   const graph::Graph& g = udg.graph;
@@ -39,7 +43,9 @@ SoakCapture run_traced_soak(int threads) {
   const auto base = algo::greedy_kmds(g, demands).set;
   const auto plan = sim::FaultPlan::churn(0.002, 20, 80, 0, 200);
 
-  obs::Plane plane;
+  obs::PlaneOptions plane_options;
+  plane_options.perf = with_perf;
+  obs::Plane plane(plane_options);
   algo::SoakOptions opts;
   opts.rounds = 240;
   opts.message_loss = 0.05;
@@ -52,8 +58,9 @@ SoakCapture run_traced_soak(int threads) {
   plane.trace().export_jsonl(trace_os);
   capture.jsonl = trace_os.str();
   std::ostringstream metrics_os;
-  plane.metrics().write_json(metrics_os);
+  plane.metrics().write_json(metrics_os, "perf.");
   capture.metrics_json = metrics_os.str();
+  if (plane.perf() != nullptr) capture.perf_rounds = plane.perf()->rounds();
   return capture;
 }
 
@@ -73,6 +80,30 @@ TEST(TraceDeterminism, JsonlIdenticalAcrossThreadCounts) {
         << "registry diverged at " << threads << " threads";
     EXPECT_EQ(seq.report.promotions, par.report.promotions);
     EXPECT_EQ(seq.report.violation_rounds, par.report.violation_rounds);
+  }
+}
+
+TEST(TraceDeterminism, PerfPlaneKeepsBitwiseInvariance) {
+  // The perf-attribution plane times the run with wall clocks, but its
+  // staging discipline (shard-owned slots, ascending-order fold at the
+  // barrier) confines every timestamp to the perf side channel: with perf
+  // ON, the trace and the registry (minus the "perf." gauges) must stay
+  // bitwise identical to the perf-OFF single-thread run at every width.
+  const SoakCapture base = run_traced_soak(1, /*with_perf=*/false);
+  ASSERT_FALSE(base.jsonl.empty());
+
+  for (int threads : {1, 2, 4, 8}) {
+    const SoakCapture par = run_traced_soak(threads, /*with_perf=*/true);
+    ASSERT_GT(par.perf_rounds, 0) << "perf plane never engaged";
+    EXPECT_EQ(base.jsonl, par.jsonl)
+        << "JSONL diverged with perf on at " << threads << " threads";
+    EXPECT_EQ(base.metrics_json, par.metrics_json)
+        << "registry diverged with perf on at " << threads << " threads";
+    EXPECT_EQ(base.report.promotions, par.report.promotions);
+    EXPECT_EQ(base.report.violation_rounds, par.report.violation_rounds);
+    // The exclusion did its job: no wall-clock gauge leaked into the
+    // compared document.
+    EXPECT_EQ(par.metrics_json.find("perf."), std::string::npos);
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace {
 
@@ -144,6 +145,42 @@ TEST(TraceSpan, RecordsArgsAndPositiveDuration) {
   EXPECT_EQ(events[0].a0, 11);
   EXPECT_EQ(events[0].a1, 22);
   EXPECT_GT(events[0].dur_ns, 0);
+}
+
+TEST(TraceSpan, MovedFromSpanIsInert) {
+  Trace trace;
+  const NameId name = trace.intern("phase");
+  {
+    SpanTimer outer(&trace, Category::kEngine, Severity::kInfo, name, 1);
+    {
+      SpanTimer inner(std::move(outer));
+    }  // the moved-to span emits here
+    // The moved-from span must not emit a second event (or touch the
+    // finished event) when it is destroyed.
+  }
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceSpan, NonPositiveDurationClampsAndCounts) {
+  Trace trace;
+  trace.set_shards(2);
+  TraceEvent zero = make_event(4);
+  zero.dur_ns = 0;  // clock could not resolve the interval
+  trace.finish_span(zero, -1);
+  TraceEvent negative = make_event(5);
+  negative.dur_ns = -7;  // e.g. a clock-domain hiccup
+  trace.finish_span(negative, 1);
+  TraceEvent fine = make_event(6);
+  fine.dur_ns = 50;
+  trace.finish_span(fine, -1);
+  trace.merge_shards();
+  // Clamped spans still render (dur 1 ns), and only the clamped ones count.
+  EXPECT_EQ(trace.clamped_spans(), 2);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 3u);
+  for (const auto& e : events) {
+    EXPECT_GT(e.dur_ns, 0);
+  }
 }
 
 TEST(TraceNames, InternIsIdempotent) {

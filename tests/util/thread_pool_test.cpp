@@ -115,6 +115,50 @@ TEST(ThreadPool, GrainAtLeastTaskCountRunsInlineInOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
 }
 
+TEST(ThreadPool, PerfCountersStayZeroWhileDisabled) {
+  // Off by default: the plain dispatch path must stay clock-free, so no
+  // counter may move without set_perf_enabled(true).
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  for (int job = 0; job < 20; ++job) {
+    pool.run(32, [&](int i) { sum += i; });
+  }
+  const auto pc = pool.drain_perf();
+  EXPECT_EQ(pc.barrier_wait_ns, 0);
+  EXPECT_EQ(pc.claim_stall_ns, 0);
+}
+
+TEST(ThreadPool, PerfCountersAccumulateAndDrainZeroes) {
+  ThreadPool pool(4);
+  pool.set_perf_enabled(true);
+  std::atomic<long long> sum{0};
+  // Tasks long enough that workers are still busy when the caller reaches
+  // the barrier (barrier_wait) and that wakeup latency shows up as drain
+  // time not spent executing (claim_stall). Either counter alone can be
+  // zero on a pathological schedule; across 20 jobs their sum cannot be.
+  for (int job = 0; job < 20; ++job) {
+    pool.run(8, [&](int i) {
+      for (volatile int spin = 0; spin < 20000; spin = spin + 1) {
+      }
+      sum += i;
+    });
+  }
+  const auto pc = pool.drain_perf();
+  EXPECT_GE(pc.barrier_wait_ns, 0);
+  EXPECT_GE(pc.claim_stall_ns, 0);
+  EXPECT_GT(pc.barrier_wait_ns + pc.claim_stall_ns, 0);
+  // drain_perf is destructive: the next drain starts from zero.
+  const auto drained = pool.drain_perf();
+  EXPECT_EQ(drained.barrier_wait_ns, 0);
+  EXPECT_EQ(drained.claim_stall_ns, 0);
+  // Disabling stops accumulation again.
+  pool.set_perf_enabled(false);
+  pool.run(32, [&](int i) { sum += i; });
+  const auto off = pool.drain_perf();
+  EXPECT_EQ(off.barrier_wait_ns, 0);
+  EXPECT_EQ(off.claim_stall_ns, 0);
+}
+
 TEST(ThreadPool, ChunkedGrainAcrossManyGenerations) {
   // Chunked claiming must stay sound across back-to-back jobs with varying
   // grains (the claim word packs generation and cursor together).
