@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_dynamic.json: Release-build the dynamic-maintenance
+# benchmark and replay the standard churn workload (1e4 and 1e5 nodes,
+# single-mutation batches) down both the incremental and the full-re-solve
+# paths.
+#
+#   scripts/bench_dynamic.sh [build-dir]    (default: build)
+# Extra arguments after the build dir are passed through to the bench, e.g.
+#   scripts/bench_dynamic.sh build --sizes=10000 --mutations=100
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_dynamic
+"$BUILD_DIR/bench/bench_dynamic" --json=BENCH_dynamic.json "$@"

@@ -13,6 +13,12 @@
 #   scripts/check.sh loss-fuzz [build-dir]  same, but every case gets a lossy
 #                                           channel (--lossy): exercises the
 #                                           link-impairment + transport paths
+#   scripts/check.sh dynamic-fuzz [build-dir] same, but every case carries a
+#                                           mutation trace (--dynamic):
+#                                           exercises the dynamic-clustering
+#                                           path against the DynamicOracle,
+#                                           with a bench_history.jsonl
+#                                           verdict line
 #   scripts/check.sh perf [build-dir]       opt-in perf gate: Release-build
 #                                           the whole bench fleet (simcore,
 #                                           simcore_mt, transport,
@@ -137,6 +143,31 @@ if [ "${1:-}" = "loss-fuzz" ]; then
     -DFTC_SANITIZE=address
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target ftc-fuzz
   "$BUILD_DIR/tools/ftc-fuzz" run --cases=2000 --seed=1 --progress=500 --lossy
+  exit 0
+fi
+
+if [ "${1:-}" = "dynamic-fuzz" ]; then
+  # The fuzz-smoke campaign with --dynamic: every case carries a seed-pure
+  # mutation trace (joins, departures, moves, edge flips) replayed through
+  # the incremental maintenance path and checked against the DynamicOracle
+  # (full re-solve, locality, bounded over-promotion, width determinism) —
+  # all under ASan+UBSan. Deterministic, like fuzz-smoke; the verdict is
+  # appended to bench_history.jsonl so the dynamic gate has a timeline too.
+  BUILD_DIR="${2:-build-asan}"
+  configure -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFTC_SANITIZE=address
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target ftc-fuzz
+  status=0
+  "$BUILD_DIR/tools/ftc-fuzz" run --cases=2000 --seed=1 --progress=500 \
+    --dynamic || status=$?
+  overall=ok
+  [ "$status" -ne 0 ] && overall=fail
+  append_history dynamic-fuzz "$overall" "\"dynamic_fuzz\": \"$overall\""
+  if [ "$status" -ne 0 ]; then
+    echo "check.sh: dynamic-fuzz campaign failed — see repro line above" >&2
+    exit 1
+  fi
   exit 0
 fi
 

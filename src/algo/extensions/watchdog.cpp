@@ -50,11 +50,21 @@ bool CoverageWatchdog::poll(const sim::SyncNetwork& net) {
 
   const bool violated = uncovered_demand_ > 0;
   std::int64_t promoted = 0;
+  std::int64_t repaired_after = 0;  // episode length if a repair completed
   if (!violated) {
     streak_ = 0;
+    if (episode_rounds_ > 0) {
+      // The violation episode just ended: its length in polls is the
+      // repair latency (interventions do not end an episode — only
+      // restored coverage does).
+      repaired_after = episode_rounds_;
+      episode_rounds_ = 0;
+      ++repairs_completed_;
+    }
   } else {
     ++violation_rounds_;
     ++streak_;
+    ++episode_rounds_;
     if (streak_ >= options_.patience) {
       // Patience exhausted: run the centralized repair oracle around the
       // failed nodes and re-issue exactly the missing promotions. The
@@ -73,12 +83,13 @@ bool CoverageWatchdog::poll(const sim::SyncNetwork& net) {
       streak_ = 0;
     }
   }
-  publish(net, violated, promoted);
+  publish(net, violated, promoted, repaired_after);
   return violated;
 }
 
 void CoverageWatchdog::publish(const sim::SyncNetwork& net, bool violated,
-                               std::int64_t promoted) {
+                               std::int64_t promoted,
+                               std::int64_t repaired_after) {
   obs::Plane* const plane = net.observability();
   if (plane == nullptr) return;
   if (plane != plane_) {
@@ -88,10 +99,15 @@ void CoverageWatchdog::publish(const sim::SyncNetwork& net, bool violated,
     slo_uncovered_ = reg.gauge("slo.uncovered_demand");
     interventions_id_ = reg.counter("watchdog.interventions");
     promotions_id_ = reg.counter("watchdog.promotions");
+    repair_latency_id_ =
+        reg.histogram("slo.repair_latency_rounds", obs::pow2_bounds(0, 10));
   }
   auto& reg = plane->metrics();
   if (violated) reg.add(slo_violation_rounds_, 1);
   reg.set(slo_uncovered_, uncovered_demand_);
+  if (repaired_after > 0) {
+    reg.record(repair_latency_id_, static_cast<double>(repaired_after));
+  }
   if (promoted > 0 || (violated && streak_ == 0)) {
     reg.add(interventions_id_, 1);
     reg.add(promotions_id_, promoted);

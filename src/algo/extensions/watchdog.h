@@ -87,9 +87,17 @@ class CoverageWatchdog {
   /// intervention).
   [[nodiscard]] std::int64_t streak() const noexcept { return streak_; }
 
+  /// Completed repair episodes (violation streaks that ended with coverage
+  /// restored). Each one's length in polls lands in the
+  /// `slo.repair_latency_rounds` histogram — the repair-latency metric the
+  /// dynamic-maintenance SLO story is built on (DESIGN.md §13).
+  [[nodiscard]] std::int64_t repairs_completed() const noexcept {
+    return repairs_completed_;
+  }
+
  private:
   void publish(const sim::SyncNetwork& net, bool violated,
-               std::int64_t promoted);
+               std::int64_t promoted, std::int64_t repaired_after);
 
   CoverageWatchdogOptions options_;
   domination::Demands demands_;
@@ -101,6 +109,8 @@ class CoverageWatchdog {
   std::int64_t interventions_ = 0;
   std::int64_t promotions_issued_ = 0;
   std::int64_t streak_ = 0;
+  std::int64_t episode_rounds_ = 0;  ///< polls since the violation began
+  std::int64_t repairs_completed_ = 0;
 
   // Lazily registered on the first poll that sees an attached plane.
   obs::Plane* plane_ = nullptr;
@@ -108,6 +118,7 @@ class CoverageWatchdog {
   obs::MetricId slo_uncovered_ = obs::kInvalidMetric;
   obs::MetricId interventions_id_ = obs::kInvalidMetric;
   obs::MetricId promotions_id_ = obs::kInvalidMetric;
+  obs::MetricId repair_latency_id_ = obs::kInvalidMetric;
 };
 
 }  // namespace ftc::algo

@@ -1,0 +1,108 @@
+// Incrementally maintained unit disk graph (DESIGN.md §13).
+//
+// build_udg() computes a UDG from scratch with a spatial hash grid. The
+// dynamic-clustering layer mutates the deployment one node at a time —
+// joins, departures, waypoint moves — and rebuilding the whole topology per
+// mutation would cost O(n + m). DynamicUdg keeps the same grid (cells of
+// side `radius`, 3x3 neighbor-cell scans) live across mutations, so each
+// mutation touches only the mutated node's geometric neighborhood: expected
+// O(local density) per operation for bounded densities.
+//
+// Conventions shared with the rest of the repo:
+//   - Departed nodes keep their id and become isolated (the
+//     Graph::without_nodes / crash convention); ids are never reused.
+//   - Joins append a fresh id at the end.
+//   - The maintained adjacency is exactly { {u,v} : active(u) && active(v)
+//     && dist(u,v) <= radius } — the brute-force rebuild equivalence the
+//     DynamicOracle checks case by case.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/udg.h"
+#include "graph/dynamic.h"
+
+namespace ftc::geom {
+
+/// A UDG that absorbs node_join/node_leave/node_move mutations, updating
+/// edges incrementally via a persistent spatial hash grid.
+class DynamicUdg {
+ public:
+  /// Starts from a built deployment; all nodes begin active.
+  explicit DynamicUdg(const UnitDiskGraph& udg);
+
+  /// Current adjacency (only active-active edges, by construction).
+  [[nodiscard]] const graph::MutableGraph& graph() const noexcept {
+    return g_;
+  }
+
+  [[nodiscard]] graph::NodeId n() const noexcept { return g_.n(); }
+
+  [[nodiscard]] bool active(graph::NodeId v) const noexcept {
+    return v >= 0 && v < n() && active_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  /// One byte per node, 1 = active. Indexed by NodeId.
+  [[nodiscard]] const std::vector<std::uint8_t>& active_flags() const noexcept {
+    return active_;
+  }
+
+  [[nodiscard]] const std::vector<Point>& positions() const noexcept {
+    return pos_;
+  }
+
+  [[nodiscard]] double radius() const noexcept { return radius_; }
+
+  /// Adds a node at p, links it to every active node within radius, and
+  /// returns its id. All new edges land in `delta.added`.
+  graph::NodeId node_join(Point p, graph::EdgeDelta& delta);
+
+  /// Deactivates v and removes its incident edges (into `delta.removed`).
+  /// No-op on an already-inactive or out-of-range id.
+  void node_leave(graph::NodeId v, graph::EdgeDelta& delta);
+
+  /// Moves v to p and rewrites its incident edges to match the new
+  /// position: edges to nodes that fell out of range land in
+  /// `delta.removed`, newly in-range nodes in `delta.added`. No-op on an
+  /// inactive or out-of-range id.
+  void node_move(graph::NodeId v, Point p, graph::EdgeDelta& delta);
+
+  /// Freezes the current state into a UnitDiskGraph (inactive nodes stay as
+  /// isolated ids, keeping indices aligned).
+  [[nodiscard]] UnitDiskGraph to_udg() const;
+
+ private:
+  struct CellKey {
+    std::int64_t cx;
+    std::int64_t cy;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct CellHash {
+    std::size_t operator()(const CellKey& k) const noexcept {
+      // Same splitmix64-based mixing as build_udg.
+      std::uint64_t h =
+          static_cast<std::uint64_t>(k.cx) * 0x9E3779B97F4A7C15ULL;
+      h ^= static_cast<std::uint64_t>(k.cy) * 0xBF58476D1CE4E5B9ULL;
+      h ^= h >> 29;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  [[nodiscard]] CellKey cell_of(const Point& p) const noexcept;
+  void grid_insert(graph::NodeId v);
+  void grid_erase(graph::NodeId v);
+  /// Active nodes (other than `exclude`) within radius of p, ascending id.
+  [[nodiscard]] std::vector<graph::NodeId> in_range(
+      const Point& p, graph::NodeId exclude) const;
+
+  graph::MutableGraph g_;
+  std::vector<Point> pos_;
+  std::vector<std::uint8_t> active_;
+  double radius_ = 1.0;
+  std::unordered_map<CellKey, std::vector<graph::NodeId>, CellHash> cells_;
+};
+
+}  // namespace ftc::geom

@@ -1,0 +1,90 @@
+#include "graph/dynamic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace ftc::graph {
+
+bool csr_arcs_fit(std::size_t directed_arcs) noexcept {
+  return directed_arcs <=
+         static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max());
+}
+
+MutableGraph::MutableGraph(const Graph& g) {
+  adj_.resize(static_cast<std::size_t>(g.n()));
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    adj_[static_cast<std::size_t>(v)].assign(nbrs.begin(), nbrs.end());
+  }
+  arcs_ = 2 * g.m();
+}
+
+NodeId MutableGraph::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+bool MutableGraph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u < 0 || v < 0 || u >= n() || v >= n() || u == v) return false;
+  const auto& nbrs = adj_[static_cast<std::size_t>(u)];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool MutableGraph::add_edge(NodeId u, NodeId v) {
+  assert(u >= 0 && u < n() && v >= 0 && v < n());
+  if (u == v) return false;
+  auto& nu = adj_[static_cast<std::size_t>(u)];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return false;
+  if (!csr_arcs_fit(arcs_ + 2)) {
+    throw std::length_error("MutableGraph::add_edge: 2m exceeds uint32 offsets");
+  }
+  nu.insert(it, v);
+  auto& nv = adj_[static_cast<std::size_t>(v)];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  arcs_ += 2;
+  return true;
+}
+
+bool MutableGraph::remove_edge(NodeId u, NodeId v) {
+  if (!has_edge(u, v)) return false;
+  auto& nu = adj_[static_cast<std::size_t>(u)];
+  nu.erase(std::lower_bound(nu.begin(), nu.end(), v));
+  auto& nv = adj_[static_cast<std::size_t>(v)];
+  nv.erase(std::lower_bound(nv.begin(), nv.end(), u));
+  arcs_ -= 2;
+  return true;
+}
+
+std::vector<Edge> MutableGraph::isolate(NodeId v) {
+  assert(v >= 0 && v < n());
+  auto& nbrs = adj_[static_cast<std::size_t>(v)];
+  std::vector<Edge> removed;
+  removed.reserve(nbrs.size());
+  for (NodeId w : nbrs) {
+    removed.push_back(v < w ? Edge{v, w} : Edge{w, v});
+    auto& nw = adj_[static_cast<std::size_t>(w)];
+    nw.erase(std::lower_bound(nw.begin(), nw.end(), v));
+  }
+  arcs_ -= 2 * nbrs.size();
+  nbrs.clear();
+  return removed;
+}
+
+std::vector<Edge> MutableGraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(m());
+  for (NodeId u = 0; u < n(); ++u) {
+    for (NodeId v : adj_[static_cast<std::size_t>(u)]) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+Graph MutableGraph::to_graph() const { return Graph::from_edges(n(), edges()); }
+
+}  // namespace ftc::graph

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "graph/dynamic.h"
+
 namespace ftc::graph {
 
 Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
@@ -26,9 +28,10 @@ Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
                    normalized.end());
 
   // Offsets are uint32: 2m (the directed arc count) must fit. Unconditional
-  // — a graph past this bound would silently corrupt the CSR otherwise.
-  if (normalized.size() * 2 >
-      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+  // — a graph past this bound would silently corrupt the CSR otherwise. The
+  // predicate is shared with MutableGraph so the dynamic path rejects the
+  // same sizes at mutation time.
+  if (!csr_arcs_fit(normalized.size() * 2)) {
     throw std::length_error("Graph::from_edges: 2m exceeds uint32 offsets");
   }
 

@@ -214,6 +214,27 @@ void PerfPlane::end_round(std::int64_t round, std::int64_t total_ns) {
   refresh_gauges();
 }
 
+void PerfPlane::reset() {
+  for (ShardStage& stage : staged_) stage = ShardStage{};
+  for (int p = 0; p < kPerfPhaseCount; ++p) {
+    cur_phase_ns_[p] = 0;
+    agg_phase_ns_[p] = 0;
+  }
+  ring_.clear();
+  head_ = 0;
+  rounds_ = 0;
+  agg_total_ns_ = 0;
+  for (PerfShardTotals& tot : shard_totals_) tot = PerfShardTotals{};
+  imb_sum_ = 0.0;
+  imb_max_ = 0.0;
+  // Gauges go to zero rather than being refreshed: a "reset" plane must
+  // read as empty until its next end_round publishes fresh facts.
+  if (registry_ != nullptr) {
+    registry_->set(peak_rss_gauge_, 0);
+    registry_->set(allocs_gauge_, 0);
+  }
+}
+
 void PerfPlane::refresh_gauges() {
   if (registry_ == nullptr) return;
   registry_->set(peak_rss_gauge_, peak_rss_kb());

@@ -153,6 +153,14 @@ class PerfPlane {
   /// run-wide aggregates, and refreshes the registry gauges.
   void end_round(std::int64_t round, std::int64_t total_ns);
 
+  /// Clears every sample: staged slots, the current round's phase laps, the
+  /// ring, the run-wide aggregates, the per-shard totals, and the imbalance
+  /// stats. Shard sizing, the registry binding, and the alloc source are
+  /// kept; the perf.* gauges are zeroed. Needed when one process drives
+  /// many scenarios through the same plane (the dynamic maintainer's
+  /// campaign mode) and each run's attribution must start clean.
+  void reset();
+
   [[nodiscard]] std::int64_t rounds() const noexcept { return rounds_; }
   /// Retained per-round samples, oldest first.
   [[nodiscard]] std::vector<PerfRoundSample> recent() const;

@@ -123,6 +123,12 @@ class Trace {
   [[nodiscard]] std::int64_t clamped_spans() const noexcept {
     return clamped_spans_.load(std::memory_order_relaxed);
   }
+  /// Zeroes the clamp counter (owner thread, between scenario runs — no
+  /// SpanTimer may be live). Paired with PerfPlane::reset() so one process
+  /// can run many scenarios with per-run clamp accounting.
+  void reset_clamped_spans() noexcept {
+    clamped_spans_.store(0, std::memory_order_relaxed);
+  }
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
 

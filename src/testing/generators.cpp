@@ -107,6 +107,15 @@ FuzzCase generate_case(std::uint64_t case_seed, const FuzzConfig& config) {
   if (config.force_lossy && c.loss == 0.0) {
     c.loss = rng.uniform(0.05, std::max(0.05, config.max_loss));
   }
+
+  // Dynamic churn. Appended after every pre-existing draw (same rule as the
+  // channel block above) so old case seeds keep their exact cases.
+  c.mutation_seed = rng();
+  c.mutations = static_cast<std::int32_t>(
+      rng.uniform_i64(1, std::max(1, config.max_mutations)));
+  c.mutation_batch = static_cast<std::int32_t>(rng.uniform_i64(1, 4));
+  c.run_dynamic = rng.bernoulli(0.35);
+  if (config.force_dynamic) c.run_dynamic = true;
   return c;
 }
 
@@ -286,7 +295,11 @@ std::string to_string(const FuzzCase& c) {
      << " burst_in=" << fmt_double(c.burst_in)
      << " burst_out=" << fmt_double(c.burst_out)
      << " asym=" << fmt_double(c.asym)
-     << " run_transport=" << (c.run_transport ? 1 : 0);
+     << " run_transport=" << (c.run_transport ? 1 : 0)
+     << " run_dynamic=" << (c.run_dynamic ? 1 : 0)
+     << " mutations=" << c.mutations
+     << " mutation_batch=" << c.mutation_batch
+     << " mutation_seed=" << c.mutation_seed;
   return os.str();
 }
 
@@ -372,12 +385,34 @@ FuzzCase parse_fuzz_case(const std::string& line) {
   c.burst_out = to_dbl(take("burst_out"));
   c.asym = to_dbl(take("asym"));
   c.run_transport = to_i64(take("run_transport")) != 0;
+  // Dynamic-churn keys are optional (defaults = "off"): repro lines written
+  // before the dimension existed must keep parsing.
+  auto take_opt = [&kv](const char* key) -> std::string {
+    auto it = kv.find(key);
+    if (it == kv.end()) return {};
+    std::string value = it->second;
+    kv.erase(it);
+    return value;
+  };
+  if (const std::string v = take_opt("run_dynamic"); !v.empty()) {
+    c.run_dynamic = to_i64(v) != 0;
+  }
+  if (const std::string v = take_opt("mutations"); !v.empty()) {
+    c.mutations = static_cast<std::int32_t>(to_i64(v));
+  }
+  if (const std::string v = take_opt("mutation_batch"); !v.empty()) {
+    c.mutation_batch = static_cast<std::int32_t>(to_i64(v));
+  }
+  if (const std::string v = take_opt("mutation_seed"); !v.empty()) {
+    c.mutation_seed = to_u64(v);
+  }
   if (!kv.empty()) {
     throw std::invalid_argument("fuzz case: unknown key '" +
                                 kv.begin()->first + "'");
   }
   if (c.n < 1 || c.t < 1 || c.k < 1 || c.threads < 1 ||
-      c.min_delay < 1 || c.max_delay < c.min_delay || c.reorder_delay < 1) {
+      c.min_delay < 1 || c.max_delay < c.min_delay || c.reorder_delay < 1 ||
+      c.mutations < 0 || c.mutation_batch < 1) {
     throw std::invalid_argument("fuzz case: field out of range");
   }
   return c;

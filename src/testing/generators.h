@@ -68,6 +68,11 @@ struct FuzzConfig {
   /// Loss-fuzz mode: force every case onto an impaired channel (at least
   /// iid loss), so a campaign concentrates on the unreliable-link paths.
   bool force_lossy = false;
+  /// Dynamic-fuzz mode: force every case to carry a mutation trace, so a
+  /// campaign concentrates on the incremental-maintenance paths.
+  bool force_dynamic = false;
+  /// Longest mutation trace the generator draws (>= 1).
+  std::int32_t max_mutations = 20;
 };
 
 /// One fully-specified fuzz case. All fields that affect execution are
@@ -116,6 +121,18 @@ struct FuzzCase {
   graph::NodeId fault_count = 0; ///< targeted: victims; region: unused
   std::uint64_t fault_seed = 1;
   std::int64_t horizon = 20;     ///< rounds the fault plan spans
+
+  // Dynamic churn: a seed-pure mutation trace replayed through
+  // DynamicWorld + IncrementalMaintainer and audited by the DynamicOracle
+  // (testing/dynamic.h). The trace itself is a pure function of
+  // (mutation_seed, mutations, mutation_batch, instance), drawn
+  // per-mutation in order, so truncating `mutations` yields an exact
+  // prefix — that is what makes trace shrinking sound. Defaults mean
+  // "off", so pre-existing case lines parse and shrink unchanged.
+  bool run_dynamic = false;
+  std::int32_t mutations = 0;      ///< trace length
+  std::int32_t mutation_batch = 1; ///< mutations applied per batch (>= 1)
+  std::uint64_t mutation_seed = 1; ///< trace randomness
 
   // Which optional invariant suites this case runs (the mandatory LP +
   // rounding battery always runs). Drawn as random toggles so a long fuzz

@@ -17,6 +17,7 @@
 #include "domination/bounds.h"
 #include "domination/fractional.h"
 #include "domination/kernels.h"
+#include "testing/dynamic.h"
 #include "util/rng.h"
 #include "obs/plane.h"
 #include "sim/async.h"
@@ -870,6 +871,9 @@ Violations check_case(const FuzzCase& c, Mutation mutation) {
   }
   if (c.run_obs) {
     check_obs(c, g, demands, lp, out);
+  }
+  if (c.run_dynamic && c.mutations > 0) {
+    check_dynamic(c, inst, mutation, out);
   }
   return out;
 }

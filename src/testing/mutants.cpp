@@ -17,6 +17,7 @@ Mutation parse_mutation(const std::string& name) {
   if (name == "none") return Mutation::kNone;
   if (name == "rounding-under-request") return Mutation::kRoundingUnderRequest;
   if (name == "rounding-drop-last-coin") return Mutation::kRoundingDropLastCoin;
+  if (name == "maintainer-no-promotion") return Mutation::kMaintainerNoPromotion;
   throw std::invalid_argument("unknown mutation '" + name + "'");
 }
 
@@ -25,6 +26,7 @@ const char* mutation_name(Mutation m) {
     case Mutation::kNone: return "none";
     case Mutation::kRoundingUnderRequest: return "rounding-under-request";
     case Mutation::kRoundingDropLastCoin: return "rounding-drop-last-coin";
+    case Mutation::kMaintainerNoPromotion: return "maintainer-no-promotion";
   }
   return "?";
 }

@@ -28,10 +28,17 @@ enum class Mutation : std::int32_t {
   /// Algorithm 2 skips the coin phase's last node (boundary bug in the
   /// per-node loop): its x-mass is silently dropped.
   kRoundingDropLastCoin,
+  /// The IncrementalMaintainer's promotion wave never runs (its demotion
+  /// and drop bookkeeping stay intact): any mutation batch that creates a
+  /// coverage deficit leaves it unrepaired — must be caught by the
+  /// DynamicOracle's k-coverage invariant, and trace shrinking must
+  /// minimize the mutation count, not just the topology.
+  kMaintainerNoPromotion,
 };
 
 /// Parses a CLI spelling ("none", "rounding-under-request",
-/// "rounding-drop-last-coin"); throws std::invalid_argument otherwise.
+/// "rounding-drop-last-coin", "maintainer-no-promotion"); throws
+/// std::invalid_argument otherwise.
 [[nodiscard]] Mutation parse_mutation(const std::string& name);
 
 /// Name of a mutation (inverse of parse_mutation).

@@ -79,6 +79,7 @@ bool shrink_pass(FuzzCase& c, Mutation mutation, const std::string& invariant,
   });
   try_mutation([](FuzzCase& f) { f.asym = 0.0; });
   try_mutation([](FuzzCase& f) { f.run_transport = false; });
+  try_mutation([](FuzzCase& f) { f.run_dynamic = false; });
   try_mutation([](FuzzCase& f) { f.threads = 1; });
   try_mutation([](FuzzCase& f) { f.run_obs = false; });
   try_mutation([](FuzzCase& f) { f.run_async = false; });
@@ -104,6 +105,14 @@ bool shrink_pass(FuzzCase& c, Mutation mutation, const std::string& invariant,
   });
   try_mutation([](FuzzCase& f) { f.fault_rate = 0.0; });
   try_mutation([](FuzzCase& f) { f.fault_rate /= 2.0; });
+  // Trace minimization: because traces are drawn per-mutation in order,
+  // reducing `mutations` replays an exact prefix — a smaller trace, not a
+  // different one. Halve first, then creep, then collapse batching.
+  try_mutation(
+      [](FuzzCase& f) { f.mutations = std::max<std::int32_t>(1, f.mutations / 2); });
+  try_mutation(
+      [](FuzzCase& f) { f.mutations = std::max<std::int32_t>(1, f.mutations - 1); });
+  try_mutation([](FuzzCase& f) { f.mutation_batch = 1; });
   return changed;
 }
 

@@ -1,0 +1,192 @@
+// IncrementalMaintainer unit tests on hand-built topologies: every clause
+// of the contract (coverage restoration, drops, demotion, locality,
+// bounded promotion, determinism) plus the dyn.* metric publication. The
+// fuzzed DynamicOracle (testing/dynamic.h) covers the same contract at
+// scale; these pin exact small-case behavior.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/extensions/maintainer.h"
+#include "domination/domination.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "obs/plane.h"
+#include "sim/mutation.h"
+
+namespace ftc::algo {
+namespace {
+
+using graph::NodeId;
+using sim::DynamicWorld;
+using sim::Mutation;
+using sim::MutationKind;
+
+std::vector<sim::AppliedMutation> apply_all(DynamicWorld& world,
+                                            const std::vector<Mutation>& ms) {
+  std::vector<sim::AppliedMutation> batch;
+  for (const Mutation& m : ms) batch.push_back(world.apply(m));
+  return batch;
+}
+
+TEST(IncrementalMaintainer, LeaveDropsAndRepromotesLocally) {
+  // Path 0-1-2, k=1, the center covers everyone. When it departs, both
+  // stranded endpoints must self-promote (they are isolated afterwards).
+  const graph::Graph g = graph::path(3);
+  DynamicWorld world(g);
+  const std::vector<NodeId> initial{1};
+  IncrementalMaintainer maintainer(g.n(), initial, {.k = 1});
+
+  Mutation leave;
+  leave.kind = MutationKind::kLeave;
+  leave.node = 1;
+  const auto batch = apply_all(world, {leave});
+  const MaintainResult r =
+      maintainer.apply_batch(world.graph(), world.active_flags(), batch);
+
+  EXPECT_EQ(r.dropped, 1);
+  EXPECT_EQ(r.promoted, 2);
+  EXPECT_EQ(r.demoted, 0);
+  EXPECT_TRUE(r.fully_satisfied);
+  EXPECT_EQ(maintainer.member_set(), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(r.changed, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(IncrementalMaintainer, JoinTriggersDemotionOfRedundantMember) {
+  // Complete(3) with two members; a join anchored at node 0 densifies the
+  // neighborhood so one member becomes redundant and is released.
+  const graph::Graph g = graph::complete(3);
+  DynamicWorld world(g);
+  const std::vector<NodeId> initial{0, 1};
+  IncrementalMaintainer maintainer(g.n(), initial, {.k = 1});
+
+  Mutation join;
+  join.kind = MutationKind::kJoin;
+  join.peer = 0;
+  const auto batch = apply_all(world, {join});
+  const MaintainResult r =
+      maintainer.apply_batch(world.graph(), world.active_flags(), batch);
+
+  EXPECT_EQ(r.promoted, 0);
+  EXPECT_EQ(r.demoted, 1);
+  EXPECT_EQ(maintainer.member_set(), (std::vector<NodeId>{1}));
+  // Everyone is still covered.
+  for (NodeId v = 0; v < world.n(); ++v) {
+    bool covered = maintainer.is_member(v);
+    for (NodeId w : world.graph().neighbors(v)) {
+      covered = covered || maintainer.is_member(w);
+    }
+    EXPECT_TRUE(covered) << "node " << v;
+  }
+}
+
+TEST(IncrementalMaintainer, DemotionRespectsHigherK) {
+  // Complete(4), k=2, three members: still over-provisioned by one, and
+  // only one may go — releasing two would break k=2 somewhere.
+  const graph::Graph g = graph::complete(4);
+  DynamicWorld world(g);
+  const std::vector<NodeId> initial{0, 1, 2};
+  IncrementalMaintainer maintainer(g.n(), initial, {.k = 2});
+
+  Mutation flip;  // toggle {0,3} off and back on: a do-nothing batch shape
+  flip.kind = MutationKind::kFlip;
+  flip.node = 0;
+  flip.peer = 3;
+  auto batch = apply_all(world, {flip});
+  batch = apply_all(world, {flip});  // restore the edge; seeds still {0,3}
+  const MaintainResult r =
+      maintainer.apply_batch(world.graph(), world.active_flags(), batch);
+  EXPECT_EQ(r.promoted, 0);
+  EXPECT_EQ(r.demoted, 1);
+  EXPECT_EQ(maintainer.members(), 2);
+  EXPECT_TRUE(domination::is_k_dominating(world.snapshot(),
+                                          maintainer.member_set(), 2));
+}
+
+TEST(IncrementalMaintainer, MutationsOutsideComponentLeaveItUntouched) {
+  // Two disjoint paths; churn in the left one must never touch the right
+  // one's membership (the locality contract, exact version).
+  const graph::Graph g =
+      graph::Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  DynamicWorld world(g);
+  const std::vector<NodeId> initial{1, 4};
+  IncrementalMaintainer maintainer(g.n(), initial, {.k = 1});
+
+  Mutation leave;
+  leave.kind = MutationKind::kLeave;
+  leave.node = 1;
+  const auto batch = apply_all(world, {leave});
+  const MaintainResult r =
+      maintainer.apply_batch(world.graph(), world.active_flags(), batch);
+  for (const NodeId v : r.changed) EXPECT_LT(v, 3) << "locality breached";
+  EXPECT_TRUE(maintainer.is_member(4));
+  EXPECT_FALSE(maintainer.is_member(1));
+}
+
+TEST(IncrementalMaintainer, NoPromotionModeReportsDeficiency) {
+  const graph::Graph g = graph::path(3);
+  DynamicWorld world(g);
+  const std::vector<NodeId> initial{1};
+  IncrementalMaintainer maintainer(g.n(), initial,
+                                   {.k = 1, .promote = false});
+  Mutation leave;
+  leave.kind = MutationKind::kLeave;
+  leave.node = 1;
+  const auto batch = apply_all(world, {leave});
+  const MaintainResult r =
+      maintainer.apply_batch(world.graph(), world.active_flags(), batch);
+  EXPECT_EQ(r.promoted, 0);
+  EXPECT_FALSE(r.fully_satisfied);
+  EXPECT_EQ(maintainer.members(), 0);
+}
+
+TEST(IncrementalMaintainer, IdenticalBatchesAreDeterministic) {
+  const graph::Graph g = graph::cycle(12);
+  auto run = [&] {
+    DynamicWorld world(g);
+    const std::vector<NodeId> initial{0, 3, 6, 9};
+    IncrementalMaintainer maintainer(g.n(), initial, {.k = 1});
+    std::vector<std::vector<NodeId>> changes;
+    for (const NodeId victim : {3, 6, 0}) {
+      Mutation leave;
+      leave.kind = MutationKind::kLeave;
+      leave.node = victim;
+      const auto batch = apply_all(world, {leave});
+      changes.push_back(
+          maintainer
+              .apply_batch(world.graph(), world.active_flags(), batch)
+              .changed);
+    }
+    changes.push_back(maintainer.member_set());
+    return changes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(IncrementalMaintainer, PublishesDynMetrics) {
+  obs::Plane plane;
+  const graph::Graph g = graph::path(3);
+  DynamicWorld world(g);
+  const std::vector<NodeId> initial{1};
+  IncrementalMaintainer maintainer(g.n(), initial, {.k = 1});
+  maintainer.bind_plane(&plane);
+
+  Mutation leave;
+  leave.kind = MutationKind::kLeave;
+  leave.node = 1;
+  const auto batch = apply_all(world, {leave});
+  (void)maintainer.apply_batch(world.graph(), world.active_flags(), batch);
+
+  auto& reg = plane.metrics();
+  EXPECT_EQ(reg.value(reg.counter("dyn.batches")), 1);
+  EXPECT_EQ(reg.value(reg.counter("dyn.mutations")), 1);
+  EXPECT_EQ(reg.value(reg.counter("dyn.promotions")), 2);
+  EXPECT_EQ(reg.value(reg.counter("dyn.dropped")), 1);
+  EXPECT_EQ(reg.value(reg.gauge("dyn.members")), 2);
+  EXPECT_EQ(maintainer.batches(), 1);
+  EXPECT_EQ(maintainer.total_promoted(), 2);
+}
+
+}  // namespace
+}  // namespace ftc::algo

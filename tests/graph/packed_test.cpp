@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "geom/udg.h"
+#include "graph/dynamic.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "util/rng.h"
@@ -93,6 +94,43 @@ TEST(GraphMemory, MemoryBytesTracksCsrFootprint) {
   EXPECT_GE(g.memory_bytes(), (static_cast<std::size_t>(g.n()) + 1) *
                                       sizeof(std::uint32_t) +
                                   g.m() * 2 * sizeof(NodeId));
+}
+
+TEST(PackedAdjacency, RoundTripsAfterIncrementalEdgeUpdates) {
+  // The dynamic path re-freezes mutated topologies: thaw a graph, churn it
+  // through MutableGraph, freeze, and the packing of the frozen graph must
+  // be indistinguishable from packing a from-scratch rebuild of the same
+  // edge list (rebuild-vs-mutate equivalence extended to the compressed
+  // representation).
+  util::Rng rng(29);
+  const Graph g0 = gnp(150, 0.06, rng);
+  MutableGraph mg(g0);
+  for (int step = 0; step < 600; ++step) {
+    const auto u =
+        static_cast<NodeId>(rng.index(static_cast<std::size_t>(mg.n())));
+    const auto v =
+        static_cast<NodeId>(rng.index(static_cast<std::size_t>(mg.n())));
+    if (u == v) continue;
+    if (rng.bernoulli(0.5)) {
+      mg.add_edge(u, v);
+    } else {
+      mg.remove_edge(u, v);
+    }
+    if (step % 97 == 0) mg.add_node();
+  }
+  const Graph mutated = mg.to_graph();
+  expect_roundtrip(mutated);
+  const Graph rebuilt = Graph::from_edges(mg.n(), mg.edges());
+  const PackedAdjacency a(mutated);
+  const PackedAdjacency b(rebuilt);
+  ASSERT_EQ(a.n(), b.n());
+  EXPECT_EQ(a.byte_size(), b.byte_size());
+  std::vector<NodeId> da, db;
+  for (NodeId v = 0; v < a.n(); ++v) {
+    a.decode(v, da);
+    b.decode(v, db);
+    ASSERT_EQ(da, db) << "node " << v;
+  }
 }
 
 TEST(PackedAdjacency, LargeGapsNeedMultiByteVarints) {

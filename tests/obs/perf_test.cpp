@@ -203,6 +203,50 @@ TEST(PerfPlane, RegistryGaugesCarryThePerfPrefixAndAreExcludable) {
   EXPECT_NE(excl_os.str().find("\"sim.messages\": 5"), std::string::npos);
 }
 
+TEST(PerfPlane, ResetClearsSamplesButKeepsWiring) {
+  // One process driving many scenarios through the same plane (the dynamic
+  // campaign mode) must be able to start each run's attribution clean
+  // without re-binding anything.
+  obs::Registry reg;
+  PerfPlane perf;
+  perf.bind_registry(&reg);
+  perf.set_alloc_source(+[]() -> std::uint64_t { return 42; });
+  perf.set_shards(2);
+  perf.add(PerfPhase::kCompute, 350);
+  perf.shard_add(0, PerfPhase::kCompute, 100);
+  perf.shard_add(1, PerfPhase::kCompute, 200);
+  perf.note_shard_work(1, 10, 70);
+  perf.end_round(0, 1000);
+  ASSERT_EQ(perf.rounds(), 1);
+  ASSERT_EQ(reg.value(reg.find("perf.allocs")), 42);
+
+  perf.reset();
+  // Every sample is gone: ring, aggregates, shard totals, imbalance.
+  EXPECT_EQ(perf.rounds(), 0);
+  EXPECT_TRUE(perf.recent().empty());
+  EXPECT_EQ(perf.total_ns(), 0);
+  EXPECT_EQ(perf.phase_total_ns(PerfPhase::kCompute), 0);
+  EXPECT_DOUBLE_EQ(perf.max_imbalance(), 0.0);
+  for (const auto& tot : perf.shard_totals()) {
+    EXPECT_EQ(tot.busy_ns(), 0);
+    EXPECT_EQ(tot.nodes, 0);
+    EXPECT_EQ(tot.straggler_rounds, 0);
+  }
+  // The perf.* gauges read as empty until the next end_round…
+  EXPECT_EQ(reg.value(reg.find("perf.allocs")), 0);
+  EXPECT_EQ(reg.value(reg.find("perf.peak_rss_kb")), 0);
+
+  // …and the wiring (shards, registry, alloc source) survived: the next
+  // scenario attributes from a clean slate.
+  perf.add(PerfPhase::kCompute, 80);
+  perf.shard_add(0, PerfPhase::kCompute, 80);
+  perf.end_round(0, 100);
+  EXPECT_EQ(perf.rounds(), 1);
+  EXPECT_EQ(perf.shards(), 2);
+  EXPECT_EQ(perf.phase_total_ns(PerfPhase::kCompute), 80);
+  EXPECT_EQ(reg.value(reg.find("perf.allocs")), 42);
+}
+
 /// Two-word chatter, enough rounds to exercise every engine phase.
 class ChatterProcess final : public sim::Process {
  public:

@@ -161,6 +161,24 @@ TEST(TraceSpan, MovedFromSpanIsInert) {
   EXPECT_EQ(trace.size(), 1u);
 }
 
+TEST(TraceSpan, ClampCounterIsResettableBetweenRuns) {
+  // Scenario-campaign discipline: between runs the owner may zero the clamp
+  // counter (paired with PerfPlane::reset()) so each run's perf summary
+  // reports its own clamp count, while retained events are untouched.
+  Trace trace;
+  TraceEvent zero = make_event(4);
+  zero.dur_ns = 0;
+  trace.finish_span(zero, -1);
+  ASSERT_EQ(trace.clamped_spans(), 1);
+  trace.reset_clamped_spans();
+  EXPECT_EQ(trace.clamped_spans(), 0);
+  EXPECT_EQ(trace.size(), 1u);  // the event itself survives
+  TraceEvent again = make_event(5);
+  again.dur_ns = -3;
+  trace.finish_span(again, -1);
+  EXPECT_EQ(trace.clamped_spans(), 1);  // fresh per-run accounting
+}
+
 TEST(TraceSpan, NonPositiveDurationClampsAndCounts) {
   Trace trace;
   trace.set_shards(2);

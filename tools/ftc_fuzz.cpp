@@ -2,16 +2,21 @@
 // (DESIGN.md §8).
 //
 //   ftc-fuzz run    --cases=N --seed=S [--mutation=M] [--max-failures=F]
-//                   [--max-n=N] [--progress=K]
+//                   [--max-n=N] [--progress=K] [--lossy] [--dynamic]
 //   ftc-fuzz replay <case-seed> | --case="<serialized case>" [--mutation=M]
 //   ftc-fuzz shrink <case-seed> | --case="<serialized case>" [--mutation=M]
 //                   [--max-steps=B]
+//   ftc-fuzz trace  <case-seed> | --case="<serialized case>"
 //
 // `run` fuzzes N seed-derived cases through the invariant library and prints
 // a one-line deterministic repro for every failure. `replay` re-executes a
 // single case bit for bit from its seed (or from a full serialized case, as
 // emitted by run/shrink). `shrink` minimizes a failing case to the smallest
-// case that still breaks the same invariant.
+// case that still breaks the same invariant — including the mutation trace,
+// whose prefix-sound generation lets the shrinker drop trailing mutations.
+// `trace` prints the materialized mutation trace of a dynamic case.
+// --dynamic forces every generated case to carry a mutation trace (the
+// dynamic-fuzz campaign mode check.sh drives under ASan).
 //
 // Exit codes: 0 = all invariants held, 1 = violations found, 2 = usage error.
 #include <cstdint>
@@ -20,6 +25,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/mutation.h"
+#include "testing/dynamic.h"
 #include "testing/generators.h"
 #include "testing/invariants.h"
 #include "testing/mutants.h"
@@ -34,26 +41,30 @@ int usage(const char* program) {
   std::fprintf(stderr,
                "usage: %s run    [--cases=N] [--seed=S] [--mutation=M]\n"
                "                 [--max-failures=F] [--max-n=N] [--progress=K]\n"
-               "                 [--lossy]\n"
+               "                 [--lossy] [--dynamic]\n"
                "       %s replay <case-seed> | --case=\"...\" [--mutation=M]\n"
                "       %s shrink <case-seed> | --case=\"...\" [--mutation=M]\n"
                "                 [--max-steps=B]\n"
-               "mutations: none, rounding-under-request, rounding-drop-last-coin\n",
-               program, program, program);
+               "       %s trace  <case-seed> | --case=\"...\"\n"
+               "mutations: none, rounding-under-request, rounding-drop-last-coin,\n"
+               "           maintainer-no-promotion\n",
+               program, program, program, program);
   return 2;
 }
 
 void print_violations(const testing::FuzzCase& c,
                       const testing::Violations& violations,
-                      bool lossy = false) {
+                      const testing::FuzzConfig& config = {}) {
   for (const auto& v : violations) {
     std::printf("  violation %-24s %s\n", v.invariant.c_str(),
                 v.detail.c_str());
   }
-  // --lossy changes what a bare seed generates, so the repro carries it.
-  std::printf("  repro: ftc-fuzz replay %llu%s\n",
+  // --lossy / --dynamic change what a bare seed generates, so the repro
+  // carries them.
+  std::printf("  repro: ftc-fuzz replay %llu%s%s\n",
               static_cast<unsigned long long>(c.case_seed),
-              lossy ? " --lossy" : "");
+              config.force_lossy ? " --lossy" : "",
+              config.force_dynamic ? " --dynamic" : "");
   std::printf("  case:  %s\n", testing::to_string(c).c_str());
 }
 
@@ -95,8 +106,7 @@ int cmd_run(const util::Args& args, const testing::FuzzConfig& config,
     std::printf("FAIL case_seed=%llu (root seed %llu)\n",
                 static_cast<unsigned long long>(failure.case_seed),
                 static_cast<unsigned long long>(options.seed));
-    print_violations(failure.fuzz_case, failure.violations,
-                     config.force_lossy);
+    print_violations(failure.fuzz_case, failure.violations, config);
   }
   std::printf("%s: %lld cases, %zu failure(s), seed %llu%s%s\n",
               report.ok() ? "OK" : "FAILED",
@@ -146,6 +156,27 @@ int cmd_shrink(const util::Args& args, const testing::FuzzConfig& config,
   return 1;
 }
 
+int cmd_trace(const util::Args& args, const testing::FuzzConfig& config) {
+  const testing::FuzzCase c = resolve_case(args, config);
+  std::printf("case: %s\n", testing::to_string(c).c_str());
+  if (!c.run_dynamic || c.mutations <= 0) {
+    std::printf("case carries no mutation trace (run_dynamic=%d mutations=%d)\n",
+                c.run_dynamic ? 1 : 0, c.mutations);
+    return 0;
+  }
+  const testing::Instance inst = testing::materialize(c);
+  const sim::MutationTrace trace = testing::trace_from_case(c, inst);
+  std::printf("trace (%zu mutations, batch=%d): %s\n", trace.size(),
+              c.mutation_batch, sim::to_string(trace).c_str());
+  for (const sim::TimedMutation& tm : trace) {
+    std::printf("  round %-4lld %-5s node=%d peer=%d x=%g y=%g\n",
+                static_cast<long long>(tm.round),
+                sim::mutation_kind_name(tm.m.kind), tm.m.node, tm.m.peer,
+                tm.m.x, tm.m.y);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,12 +189,14 @@ int main(int argc, char** argv) {
     config.max_n = static_cast<graph::NodeId>(
         args.get_int("max-n", config.max_n));
     config.force_lossy = args.get_bool("lossy", false);
+    config.force_dynamic = args.get_bool("dynamic", false);
     const testing::Mutation mutation =
         testing::parse_mutation(args.get_string("mutation", "none"));
 
     if (command == "run") return cmd_run(args, config, mutation);
     if (command == "replay") return cmd_replay(args, config, mutation);
     if (command == "shrink") return cmd_shrink(args, config, mutation);
+    if (command == "trace") return cmd_trace(args, config);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return usage(argv[0]);
   } catch (const std::exception& e) {
